@@ -1,0 +1,178 @@
+package napawine_test
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"napawine"
+)
+
+// runBattery executes the full three-app battery once at miniature scale
+// and caches it for every assertion in this file.
+var battery []*napawine.Result
+
+func getBattery(t *testing.T) []*napawine.Result {
+	t.Helper()
+	if battery != nil {
+		return battery
+	}
+	results, err := napawine.RunAll(napawine.Scale{
+		Seed:       99,
+		Duration:   2 * time.Minute,
+		PeerFactor: 0.15,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	battery = results
+	return results
+}
+
+func TestRunAllOrderAndHealth(t *testing.T) {
+	results := getBattery(t)
+	if len(results) != 3 {
+		t.Fatalf("results = %d, want 3", len(results))
+	}
+	want := []string{"PPLive", "SopCast", "TVAnts"}
+	for i, r := range results {
+		if r.App != want[i] {
+			t.Errorf("results[%d] = %s, want %s", i, r.App, want[i])
+		}
+		if r.MeanContinuity < 0.6 {
+			t.Errorf("%s continuity = %.2f (swarm unhealthy)", r.App, r.MeanContinuity)
+		}
+		if len(r.Observations) == 0 {
+			t.Errorf("%s produced no observations", r.App)
+		}
+	}
+}
+
+func TestPublicTablesRender(t *testing.T) {
+	results := getBattery(t)
+	var b strings.Builder
+	for _, tab := range []*napawine.Table{
+		napawine.TableII(results),
+		napawine.TableIII(results),
+		napawine.TableIV(results),
+	} {
+		b.Reset()
+		if err := tab.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		for _, app := range napawine.Apps() {
+			if !strings.Contains(b.String(), app) {
+				t.Errorf("table %q missing %s", tab.Title, app)
+			}
+		}
+	}
+	b.Reset()
+	if err := napawine.RenderFigure1(&b, results); err != nil {
+		t.Fatal(err)
+	}
+	b.Reset()
+	if err := napawine.RenderFigure2(&b, results); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// The paper's qualitative conclusions must hold end-to-end through the
+// public API, even at miniature scale.
+func TestPaperConclusionsHold(t *testing.T) {
+	results := getBattery(t)
+	byApp := map[string]*napawine.Result{}
+	for _, r := range results {
+		byApp[r.App] = r
+	}
+	cell := func(app, prop string) napawine.TableIVCell {
+		for _, c := range napawine.ComputeTableIV(byApp[app]) {
+			if c.Property == prop {
+				return c
+			}
+		}
+		t.Fatalf("missing %s/%s", app, prop)
+		return napawine.TableIVCell{}
+	}
+
+	// 1. Every application prefers high-bandwidth peers, byte-wise more
+	// than peer-wise.
+	for _, app := range napawine.Apps() {
+		bw := cell(app, "BW")
+		if !bw.BDPrime.Valid() || bw.BDPrime.BytePct < 60 {
+			t.Errorf("%s BW B'D = %.1f, want strong", app, bw.BDPrime.BytePct)
+		}
+		if bw.BDPrime.BytePct < bw.PDPrime.PeerPct {
+			t.Errorf("%s BW byte preference below peer preference", app)
+		}
+	}
+
+	// 2. TVAnts has the strongest same-AS peer discovery.
+	tvAS := cell("TVAnts", "AS")
+	scAS := cell("SopCast", "AS")
+	if tvAS.PDPrime.PeerPct <= scAS.PDPrime.PeerPct {
+		t.Errorf("TVAnts P'D(AS)=%.1f should exceed SopCast's %.1f",
+			tvAS.PDPrime.PeerPct, scAS.PDPrime.PeerPct)
+	}
+
+	// 3. No application shows a real HOP preference: the paper's
+	// signature is B′ ≈ P′ on the HOP row ("almost no difference emerges
+	// comparing P′ and B′"), which is scale-free — the absolute level
+	// depends on where the fixed 19-hop threshold cuts this world's
+	// distance distribution.
+	for _, app := range napawine.Apps() {
+		hop := cell(app, "HOP")
+		if !hop.BDPrime.Valid() {
+			continue
+		}
+		if diff := hop.BDPrime.BytePct - hop.PDPrime.PeerPct; diff > 25 || diff < -25 {
+			t.Errorf("%s HOP B'D=%.1f vs P'D=%.1f: byte/peer divergence signals a preference",
+				app, hop.BDPrime.BytePct, hop.PDPrime.PeerPct)
+		}
+	}
+}
+
+func TestHopSweepAPI(t *testing.T) {
+	results := getBattery(t)
+	tab, err := napawine.HopSweep(results[1], 17, 21)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := tab.Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	for _, th := range []string{"17", "19", "21"} {
+		if !strings.Contains(b.String(), th) {
+			t.Errorf("sweep missing threshold %s", th)
+		}
+	}
+	if _, err := napawine.HopSweep(results[0], 10, 5); err == nil {
+		t.Error("inverted range should fail")
+	}
+	if _, err := napawine.HopSweep(results[0], 0, 5); err == nil {
+		t.Error("zero lower bound should fail")
+	}
+}
+
+func TestProfileVariantAPI(t *testing.T) {
+	base, err := napawine.ProfileOf(napawine.TVAnts)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v := napawine.ProfileVariant(base, "tv-blind", func(p *napawine.Profile) {
+		p.DiscoveryWeight = napawine.Uniform{}
+	})
+	if v.Name != "tv-blind" || base.Name != "TVAnts" {
+		t.Error("variant naming wrong")
+	}
+	if _, err := napawine.ProfileOf("Babelgum"); err == nil {
+		t.Error("unknown app should fail")
+	}
+}
+
+func TestDefaultConfigKnobs(t *testing.T) {
+	cfg := napawine.DefaultConfig(napawine.PPLive)
+	if cfg.App != napawine.PPLive || cfg.World.Peers == 0 {
+		t.Error("default config incomplete")
+	}
+}

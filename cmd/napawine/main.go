@@ -1,0 +1,164 @@
+// Command napawine runs the paper's experiments and regenerates its tables
+// and figures.
+//
+// Usage:
+//
+//	napawine -exp table2                 # Table II across all three apps
+//	napawine -exp table4 -duration 10m   # the headline awareness table
+//	napawine -exp all -apps SopCast      # everything, one app
+//	napawine -exp hopsweep               # A2 ablation: HOP threshold sweep
+//	napawine -exp table1                 # testbed inventory (no simulation)
+//
+// Deterministic: the same -seed regenerates identical tables.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+	"time"
+
+	"napawine"
+	"napawine/internal/report"
+	"napawine/internal/world"
+)
+
+func main() {
+	var (
+		exp      = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig1|fig2|hopsweep|all")
+		appsFlag = flag.String("apps", "PPLive,SopCast,TVAnts", "comma-separated application list")
+		seed     = flag.Int64("seed", 1, "simulation seed")
+		duration = flag.Duration("duration", 5*time.Minute, "virtual experiment duration")
+		factor   = flag.Float64("scale", 1.0, "background population scale factor")
+		workers  = flag.Int("workers", 0, "parallel experiments (0 = GOMAXPROCS)")
+		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+	)
+	flag.Parse()
+
+	if *exp == "table1" {
+		renderTableI(*csv)
+		return
+	}
+
+	wanted := map[string]bool{}
+	for _, a := range strings.Split(*appsFlag, ",") {
+		wanted[strings.TrimSpace(a)] = true
+	}
+
+	fmt.Fprintf(os.Stderr, "running %s for %v (seed %d, scale %.2f)...\n",
+		*appsFlag, *duration, *seed, *factor)
+	start := time.Now()
+	all, err := napawine.RunAll(napawine.Scale{
+		Seed: *seed, Duration: *duration, PeerFactor: *factor, Workers: *workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	results := all[:0:0]
+	for _, r := range all {
+		if wanted[r.App] {
+			results = append(results, r)
+		}
+	}
+	if len(results) == 0 {
+		fatal(fmt.Errorf("no results for apps %q", *appsFlag))
+	}
+	var events uint64
+	for _, r := range results {
+		events += r.Events
+	}
+	fmt.Fprintf(os.Stderr, "done in %v (%d simulation events)\n\n",
+		time.Since(start).Round(time.Millisecond), events)
+
+	render := func(t *napawine.Table) {
+		var err error
+		if *csv {
+			err = t.RenderCSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+			fmt.Println()
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+
+	show := func(name string) bool { return *exp == name || *exp == "all" }
+	if show("table2") {
+		render(napawine.TableII(results))
+	}
+	if show("table3") {
+		render(napawine.TableIII(results))
+	}
+	if show("table4") {
+		render(napawine.TableIV(results))
+		for _, r := range results {
+			fmt.Printf("%s: measured hop median %.0f, mean continuity %.3f\n",
+				r.App, r.HopMedianMeasured, r.MeanContinuity)
+		}
+		fmt.Println()
+	}
+	if show("fig1") {
+		if err := napawine.RenderFigure1(os.Stdout, results); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if show("fig2") {
+		if err := napawine.RenderFigure2(os.Stdout, results); err != nil {
+			fatal(err)
+		}
+		fmt.Println()
+	}
+	if show("hopsweep") {
+		for _, r := range results {
+			t, err := napawine.HopSweep(r, 15, 23)
+			if err != nil {
+				fatal(err)
+			}
+			render(t)
+		}
+	}
+}
+
+func renderTableI(csv bool) {
+	t := report.NewTable("TABLE I — NAPA-WINE testbed",
+		"Site", "CC", "AS", "High-bw hosts", "Home probes", "NAT", "FW")
+	for _, s := range world.TableI() {
+		homes := make([]string, 0, len(s.Homes))
+		nat := 0
+		fw := 0
+		for _, h := range s.Homes {
+			homes = append(homes, h.Access.Spec.String())
+			if h.Access.NAT {
+				nat++
+			}
+			if h.Access.Firewall {
+				fw++
+			}
+		}
+		nat += s.HighBwNAT
+		fwMark := fmt.Sprintf("%d", fw)
+		if s.HighBwFW {
+			fwMark += "+site"
+		}
+		t.Add(s.Name, string(s.Country), s.ASLabel,
+			fmt.Sprintf("%d", s.HighBw), strings.Join(homes, " "),
+			fmt.Sprintf("%d", nat), fwMark)
+	}
+	var err error
+	if csv {
+		err = t.RenderCSV(os.Stdout)
+	} else {
+		err = t.Render(os.Stdout)
+	}
+	if err != nil {
+		fatal(err)
+	}
+}
+
+func fatal(err error) {
+	fmt.Fprintln(os.Stderr, "napawine:", err)
+	os.Exit(1)
+}

@@ -1,0 +1,85 @@
+// Command worldgen synthesizes an experiment world and describes it:
+// country composition, AS counts, access-capacity mix and the Table I
+// testbed placement. Useful for eyeballing a population before committing
+// to a long run.
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"sort"
+
+	"napawine/internal/report"
+	"napawine/internal/topology"
+	"napawine/internal/world"
+)
+
+func main() {
+	var (
+		peers = flag.Int("peers", 500, "background peer count")
+		seed  = flag.Int64("seed", 1, "world seed")
+		fast  = flag.Float64("highbw", 0.70, "high-bandwidth fraction of background peers")
+	)
+	flag.Parse()
+
+	w, err := world.Build(world.Spec{
+		Seed:              *seed,
+		Peers:             *peers,
+		HighBwFraction:    *fast,
+		NATFraction:       0.25,
+		FWFraction:        0.05,
+		SubnetsPerAS:      3,
+		ProbeASBackground: 6,
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "worldgen:", err)
+		os.Exit(1)
+	}
+
+	fmt.Printf("world seed=%d: %d probes, %d background peers, %d ASes, %d subnets\n\n",
+		*seed, len(w.Probes), len(w.Background), len(w.Topo.ASes()), w.Topo.Subnets())
+
+	byCC := map[topology.CC]int{}
+	fastN, natN, fwN := 0, 0, 0
+	for _, bg := range w.Background {
+		byCC[bg.Host.Country]++
+		if bg.Link.HighBandwidth() {
+			fastN++
+		}
+		if bg.Link.NAT {
+			natN++
+		}
+		if bg.Link.Firewall {
+			fwN++
+		}
+	}
+	ccs := make([]string, 0, len(byCC))
+	for cc := range byCC {
+		ccs = append(ccs, string(cc))
+	}
+	sort.Slice(ccs, func(i, j int) bool { return byCC[topology.CC(ccs[i])] > byCC[topology.CC(ccs[j])] })
+	t := report.NewTable("Background population by country", "CC", "Peers", "Share%")
+	for _, cc := range ccs {
+		n := byCC[topology.CC(cc)]
+		t.Add(cc, fmt.Sprintf("%d", n), report.Pct(100*float64(n)/float64(len(w.Background))))
+	}
+	if err := t.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "worldgen:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("\naccess mix: %.1f%% high-bw, %.1f%% NAT, %.1f%% firewalled\n",
+		100*float64(fastN)/float64(len(w.Background)),
+		100*float64(natN)/float64(len(w.Background)),
+		100*float64(fwN)/float64(len(w.Background)))
+
+	t2 := report.NewTable("\nTestbed placement", "Probe", "AS", "CC", "Access", "Subnet")
+	for _, p := range w.Probes {
+		t2.Add(p.Label, p.ASName, string(p.Host.Country), p.Link.Spec.String(),
+			fmt.Sprintf("%d", p.Host.Subnet))
+	}
+	if err := t2.Render(os.Stdout); err != nil {
+		fmt.Fprintln(os.Stderr, "worldgen:", err)
+		os.Exit(1)
+	}
+}

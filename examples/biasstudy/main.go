@@ -1,0 +1,56 @@
+// Biasstudy: Table III made tangible — how much the testbed measures
+// *itself* instead of the swarm, and how the probe-filtering of §III-C
+// corrects for it.
+//
+// The NAPA-WINE probes are islands of high-bandwidth hosts sharing LANs,
+// ASes and countries. Left unfiltered, they dominate each other's
+// contributor sets and fake locality preferences. The study runs one
+// experiment and prints every awareness index twice: over the full
+// contributor set and over the set with probes removed.
+//
+//	go run ./examples/biasstudy
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"napawine"
+)
+
+func main() {
+	cfg := napawine.DefaultConfig(napawine.TVAnts)
+	cfg.Seed = 13
+	cfg.Duration = 4 * time.Minute
+	cfg.World.Peers = 260
+
+	fmt.Println("running a TVAnts swarm to measure the testbed's self-induced bias...")
+	result, err := napawine.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	results := []*napawine.Result{result}
+	if err := napawine.TableIII(results).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+
+	fmt.Println("Per-property effect of the probe filter (download direction):")
+	fmt.Printf("%-5s %12s %12s %14s\n", "Prop", "B% (all)", "B'% (no W)", "inflation B-B'")
+	for _, c := range napawine.ComputeTableIV(result) {
+		if !c.BD.Valid() {
+			continue
+		}
+		inflation := c.BD.BytePct - c.BDPrime.BytePct
+		fmt.Printf("%-5s %12.1f %12.1f %14.1f\n",
+			c.Property, c.BD.BytePct, c.BDPrime.BytePct, inflation)
+	}
+
+	fmt.Println()
+	fmt.Println("NET never survives the filter (only probes share subnets), and the")
+	fmt.Println("HOP/AS rows deflate once probe-to-probe traffic is removed: exactly")
+	fmt.Println("the correction the paper applies before drawing any conclusion.")
+}

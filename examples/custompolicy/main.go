@@ -1,0 +1,96 @@
+// Custompolicy: the A1 ablation plus the paper's future-work direction.
+//
+// The paper measures *what* awareness each client embeds but cannot say
+// *where* it lives (discovery vs chunk scheduling). Because our profiles
+// expose those knobs, we can isolate them: run stock TVAnts, a variant
+// with AS-blind discovery, a variant with AS-blind scheduling, and a
+// future-work variant that also weighs RTT — then let the unchanged
+// measurement framework report what each one looks like on the wire.
+//
+//	go run ./examples/custompolicy
+package main
+
+import (
+	"fmt"
+	"log"
+	"time"
+
+	"napawine"
+)
+
+func run(label string, mutate func(*napawine.Profile)) *napawine.Result {
+	cfg := napawine.DefaultConfig(napawine.TVAnts)
+	cfg.Seed = 5
+	cfg.Duration = 4 * time.Minute
+	cfg.World.Peers = 240
+
+	if mutate != nil {
+		base, err := napawine.ProfileOf(napawine.TVAnts)
+		if err != nil {
+			log.Fatal(err)
+		}
+		cfg.Profile = napawine.ProfileVariant(base, label, mutate)
+	}
+	result, err := napawine.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	return result
+}
+
+func describe(label string, r *napawine.Result) {
+	var as, hop napawine.TableIVCell
+	for _, c := range napawine.ComputeTableIV(r) {
+		switch c.Property {
+		case "AS":
+			as = c
+		case "HOP":
+			hop = c
+		}
+	}
+	fig2 := napawine.Figure2(r)
+	fmt.Printf("%-22s AS: B'D=%5.1f P'D=%5.1f   HOP: B'D=%5.1f P'D=%5.1f   R=%5.2f\n",
+		label, as.BDPrime.BytePct, as.PDPrime.PeerPct,
+		hop.BDPrime.BytePct, hop.PDPrime.PeerPct, fig2.R)
+}
+
+func main() {
+	fmt.Println("running four TVAnts-world experiments (ablation + future work)...")
+
+	stock := run("stock", nil)
+	describe("stock TVAnts", stock)
+
+	noDisc := run("TVAnts-blindDiscovery", func(p *napawine.Profile) {
+		p.DiscoveryWeight = napawine.Uniform{}
+	})
+	describe("AS-blind discovery", noDisc)
+
+	noSched := run("TVAnts-blindScheduling", func(p *napawine.Profile) {
+		p.RequestWeight = napawine.BandwidthBias{
+			Ref: 384_000, Alpha: 2, Floor: 768_000,
+		}
+		p.RetainWeight = napawine.BandwidthBias{
+			Ref: 384_000, Alpha: 1, Floor: 192_000,
+		}
+	})
+	describe("AS-blind scheduling", noSched)
+
+	rttAware := run("TVAnts-rttAware", func(p *napawine.Profile) {
+		p.DiscoveryWeight = napawine.ProductWeight{
+			p.DiscoveryWeight,
+			napawine.RTTBias{Near: 60 * time.Millisecond, Factor: 12},
+		}
+		p.RequestWeight = napawine.ProductWeight{
+			p.RequestWeight,
+			napawine.RTTBias{Near: 60 * time.Millisecond, Factor: 4},
+		}
+	})
+	describe("RTT-aware (future)", rttAware)
+
+	fmt.Println("\nReading the rows:")
+	fmt.Println("  - removing discovery bias collapses P' (few same-AS peers found);")
+	fmt.Println("  - removing scheduling bias narrows B' toward P';")
+	fmt.Println("  - the RTT-aware variant lifts the HOP row above the stock ≈50/50,")
+	fmt.Println("    showing the unchanged framework would expose a locality-aware")
+	fmt.Println("    client — the paper's closing recommendation made concrete.")
+}

@@ -1,0 +1,39 @@
+// Quickstart: run one small SopCast-like experiment and print its
+// network-awareness indices (the paper's Table IV rows for one app).
+//
+//	go run ./examples/quickstart
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"napawine"
+)
+
+func main() {
+	cfg := napawine.DefaultConfig(napawine.SopCast)
+	cfg.Seed = 7
+	cfg.Duration = 3 * time.Minute // keep the demo fast; use 10m+ for stable numbers
+	cfg.World.Peers = 250
+
+	fmt.Println("running a 3-virtual-minute SopCast swarm (250 background peers)...")
+	start := time.Now()
+	result, err := napawine.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %v: %d events, mean continuity %.3f, hop median %.0f\n\n",
+		time.Since(start).Round(time.Millisecond),
+		result.Events, result.MeanContinuity, result.HopMedianMeasured)
+
+	if err := napawine.TableIV([]*napawine.Result{result}).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nReading the table: BW rows show the strong bandwidth preference")
+	fmt.Println("every 2008-era P2P-TV client embeds; SopCast's AS rows show B ≈ P,")
+	fmt.Println("i.e. no location awareness — matching the paper's conclusion.")
+}

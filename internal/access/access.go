@@ -1,0 +1,238 @@
+// Package access models peer access links: asymmetric capacity, NAT and
+// firewall flags, FIFO serialization of transfers, and — critically for the
+// paper's BW metric — packet-train timing whose inter-packet gaps reflect
+// the path bottleneck.
+//
+// §III-B of the paper infers a peer's access class from the minimum
+// inter-packet gap (IPG) inside video-chunk packet trains: chunks are sent
+// as bursts of ~1250-byte packets, so consecutive arrivals act as packet
+// pairs and their spacing equals the serialization time at the path
+// bottleneck (1 ms ⇔ 10 Mbit/s). Train reproduces exactly that observable.
+package access
+
+import (
+	"fmt"
+	"math/rand"
+	"time"
+
+	"napawine/internal/sim"
+	"napawine/internal/units"
+)
+
+// Kind labels the flavour of attachment, mirroring Table I's Access column.
+type Kind int
+
+// Access kinds seen in the testbed inventory.
+const (
+	Institutional Kind = iota // "high-bw" LAN in the paper
+	DSL
+	CATV
+	FTTH
+)
+
+// String renders the kind with the paper's vocabulary.
+func (k Kind) String() string {
+	switch k {
+	case Institutional:
+		return "high-bw"
+	case DSL:
+		return "DSL"
+	case CATV:
+		return "CATV"
+	case FTTH:
+		return "FTTH"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Link describes one peer's access link.
+type Link struct {
+	Kind     Kind
+	Spec     units.AccessSpec
+	NAT      bool // behind a NAT: no unsolicited inbound
+	Firewall bool // behind a firewall: no inbound at all
+}
+
+// HighBandwidth reports whether the peer falls in the paper's preferred BW
+// partition as ground truth: an uplink above 10 Mbit/s, the capacity whose
+// 1250-byte serialization time equals the 1 ms IPG threshold. (The analysis
+// layer must *infer* this from traces; this accessor is for world building
+// and for validating the inference.)
+func (l Link) HighBandwidth() bool { return l.Spec.Up > 10*units.Mbps }
+
+// AcceptsFrom reports whether a connection initiated by from can be
+// established toward l. Firewalled hosts accept nothing inbound; NATted
+// hosts accept inbound only from publicly reachable initiators that they
+// could also reach back (hole punching between two NATted peers is out of
+// scope, as it was for the 2008-era clients).
+func (l Link) AcceptsFrom(from Link) bool {
+	if l.Firewall {
+		return false
+	}
+	if l.NAT && (from.NAT || from.Firewall) {
+		return false
+	}
+	return true
+}
+
+// Reachable reports whether at least one of the two peers can initiate a
+// usable connection to the other.
+func Reachable(a, b Link) bool {
+	return a.AcceptsFrom(b) || b.AcceptsFrom(a)
+}
+
+// Port serializes transfers over one direction of an access link in FIFO
+// order. It is the mechanism that makes high-capacity peers complete chunk
+// uploads sooner and therefore get re-selected — the emergent side of the
+// BW preference every application shows.
+type Port struct {
+	rate      units.BitRate
+	busyUntil sim.Time
+	// queued counts transfers currently reserved but not yet finished,
+	// for observability and back-pressure decisions in the overlay.
+	queued int
+	// busyAccum integrates busy time for utilization reporting.
+	busyAccum time.Duration
+}
+
+// NewPort builds a port of the given rate. A non-positive rate panics: a
+// zero-capacity access link would deadlock the swarm invisibly.
+func NewPort(rate units.BitRate) *Port {
+	if rate <= 0 {
+		panic(fmt.Sprintf("access: non-positive port rate %v", rate))
+	}
+	return &Port{rate: rate}
+}
+
+// Rate reports the port's capacity.
+func (p *Port) Rate() units.BitRate { return p.rate }
+
+// Queued reports how many reservations are outstanding at now.
+func (p *Port) Queued(now sim.Time) int {
+	if p.busyUntil <= now {
+		return 0
+	}
+	return p.queued
+}
+
+// Backlog reports how long a transfer reserved at now would wait before
+// starting.
+func (p *Port) Backlog(now sim.Time) time.Duration {
+	if p.busyUntil <= now {
+		return 0
+	}
+	return p.busyUntil.Sub(now)
+}
+
+// Reserve books the port for size bytes starting no earlier than now and
+// returns the transfer's start and end instants. Reservations are FIFO:
+// each begins when the previous one ends.
+func (p *Port) Reserve(now sim.Time, size units.ByteSize) (start, end sim.Time) {
+	start = now
+	if p.busyUntil > start {
+		start = p.busyUntil
+	} else {
+		p.queued = 0 // previous burst fully drained
+	}
+	d := p.rate.TransmitTime(size)
+	end = start.Add(d)
+	p.busyUntil = end
+	p.queued++
+	p.busyAccum += d
+	return start, end
+}
+
+// BusyTime reports the total serialization time booked so far; dividing by
+// the experiment duration yields link utilization.
+func (p *Port) BusyTime() time.Duration { return p.busyAccum }
+
+// MTU-sized payload used to packetize chunks. 1250 bytes is the paper's own
+// calibration packet (1 ms at 10 Mbit/s).
+const PacketPayload = 1250 * units.Byte
+
+// Packetize splits a transfer of size bytes into MTU-sized packet payloads,
+// last packet possibly short. Size zero yields no packets.
+func Packetize(size units.ByteSize) []units.ByteSize {
+	if size <= 0 {
+		return nil
+	}
+	n := int((size + PacketPayload - 1) / PacketPayload)
+	out := make([]units.ByteSize, n)
+	for i := 0; i < n-1; i++ {
+		out[i] = PacketPayload
+	}
+	out[n-1] = size - units.ByteSize(n-1)*PacketPayload
+	return out
+}
+
+// Train computes per-packet departure and arrival instants for a burst of
+// packets sent back-to-back from a sender uplink of rate up toward a
+// receiver downlink of rate down across a path with one-way delay owd.
+//
+// Departures are spaced by uplink serialization. Each arrival completes
+// after the packet also serializes through the downlink, and cannot precede
+// the previous arrival plus that serialization (store-and-forward FIFO).
+// Consequently the receiver-side gap between consecutive full-size packets
+// equals the serialization time at min(up, down) — exactly the packet-pair
+// observable the paper's BW classifier relies on.
+//
+// jitter, when non-nil, adds a uniform random forwarding delay in
+// [0, maxJitter) to each packet's network traversal. Jitter can only widen
+// gaps (or leave the bottleneck-imposed floor intact), never compress them
+// below the serialization floor, matching real FIFO queues.
+func Train(start sim.Time, sizes []units.ByteSize, up, down units.BitRate,
+	owd time.Duration, jitter *rand.Rand, maxJitter time.Duration) (departs, arrives []sim.Time) {
+
+	departs = make([]sim.Time, len(sizes))
+	arrives = make([]sim.Time, len(sizes))
+	bottleneck := up
+	if down < bottleneck {
+		bottleneck = down
+	}
+	cursor := start
+	var prevArrive sim.Time
+	for i, sz := range sizes {
+		txUp := up.TransmitTime(sz)
+		depart := cursor.Add(txUp) // instant the last bit leaves the sender
+		cursor = depart
+		departs[i] = depart
+
+		delay := owd
+		if jitter != nil && maxJitter > 0 {
+			delay += time.Duration(jitter.Int63n(int64(maxJitter)))
+		}
+		txDown := down.TransmitTime(sz)
+		arrive := depart.Add(delay + txDown)
+		if i > 0 {
+			// A later packet queues behind its predecessor along the
+			// path FIFO: spacing never compresses below the packet's
+			// serialization time at the path bottleneck.
+			if floor := prevArrive.Add(bottleneck.TransmitTime(sz)); arrive < floor {
+				arrive = floor
+			}
+		}
+		arrives[i] = arrive
+		prevArrive = arrive
+	}
+	return departs, arrives
+}
+
+// Profiles for world generation, in the spirit of Table I's population mix.
+var (
+	// LAN100 is the institutional "high-bw" attachment.
+	LAN100 = Link{Kind: Institutional, Spec: units.Symmetric(100 * units.Mbps)}
+	// LAN1000 is a well-provisioned campus attachment.
+	LAN1000 = Link{Kind: Institutional, Spec: units.Symmetric(units.Gbps)}
+	// DSL6 is the 6/0.512 home profile from Table I.
+	DSL6 = Link{Kind: DSL, Spec: units.MustAccessSpec("6/0.512")}
+	// DSL4 is the 4/0.384 home profile.
+	DSL4 = Link{Kind: DSL, Spec: units.MustAccessSpec("4/0.384")}
+	// DSL8 is the 8/0.384 home profile.
+	DSL8 = Link{Kind: DSL, Spec: units.MustAccessSpec("8/0.384")}
+	// DSL22 is the 22/1.8 home profile.
+	DSL22 = Link{Kind: DSL, Spec: units.MustAccessSpec("22/1.8")}
+	// DSL25 is the 2.5/0.384 home profile.
+	DSL25 = Link{Kind: DSL, Spec: units.MustAccessSpec("2.5/0.384")}
+	// CATV6 is the 6/0.512 cable profile.
+	CATV6 = Link{Kind: CATV, Spec: units.MustAccessSpec("6/0.512")}
+)

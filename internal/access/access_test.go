@@ -1,0 +1,286 @@
+package access
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+
+	"napawine/internal/sim"
+	"napawine/internal/units"
+)
+
+func TestKindString(t *testing.T) {
+	cases := map[Kind]string{
+		Institutional: "high-bw",
+		DSL:           "DSL",
+		CATV:          "CATV",
+		FTTH:          "FTTH",
+		Kind(42):      "Kind(42)",
+	}
+	for k, want := range cases {
+		if got := k.String(); got != want {
+			t.Errorf("Kind(%d).String() = %q, want %q", int(k), got, want)
+		}
+	}
+}
+
+func TestHighBandwidthThreshold(t *testing.T) {
+	if !LAN100.HighBandwidth() {
+		t.Error("100Mbps LAN should be high-bw")
+	}
+	if DSL22.HighBandwidth() {
+		t.Error("22/1.8 DSL should not be high-bw (uplink 1.8Mbps)")
+	}
+	exactly10 := Link{Spec: units.Symmetric(10 * units.Mbps)}
+	if exactly10.HighBandwidth() {
+		t.Error("threshold is strict: exactly 10Mbps is not high-bw")
+	}
+}
+
+func TestConnectivityMatrix(t *testing.T) {
+	open := Link{}
+	nat := Link{NAT: true}
+	fw := Link{Firewall: true}
+	natfw := Link{NAT: true, Firewall: true}
+
+	cases := []struct {
+		name      string
+		from, to  Link
+		canAccept bool
+	}{
+		{"open->open", open, open, true},
+		{"open->nat", open, nat, true},
+		{"nat->open", nat, open, true},
+		{"nat->nat", nat, nat, false},
+		{"any->fw", open, fw, false},
+		{"nat->fw", nat, fw, false},
+		{"fw->open", fw, open, true},
+		{"fw->nat", fw, nat, false},
+		{"natfw->open", natfw, open, true},
+		{"open->natfw", open, natfw, false},
+	}
+	for _, c := range cases {
+		if got := c.to.AcceptsFrom(c.from); got != c.canAccept {
+			t.Errorf("%s: AcceptsFrom = %v, want %v", c.name, got, c.canAccept)
+		}
+	}
+	if !Reachable(fw, open) {
+		t.Error("fw peer should reach open peer (outbound)")
+	}
+	if Reachable(fw, natfw) {
+		t.Error("fw and nat+fw peers should be mutually unreachable")
+	}
+}
+
+func TestPortFIFO(t *testing.T) {
+	p := NewPort(1 * units.Mbps) // 125000 B/s
+	s1, e1 := p.Reserve(0, 125*units.KB)
+	if s1 != 0 || e1 != sim.Time(time.Second) {
+		t.Fatalf("first reservation (%v,%v), want (0,1s)", s1, e1)
+	}
+	// Second reservation queues behind the first.
+	s2, e2 := p.Reserve(0, 125*units.KB)
+	if s2 != sim.Time(time.Second) || e2 != sim.Time(2*time.Second) {
+		t.Fatalf("second reservation (%v,%v), want (1s,2s)", s2, e2)
+	}
+	// A reservation after the port drained starts immediately.
+	s3, _ := p.Reserve(sim.Time(5*time.Second), units.KB)
+	if s3 != sim.Time(5*time.Second) {
+		t.Fatalf("post-idle reservation starts at %v, want 5s", s3)
+	}
+}
+
+func TestPortBacklogAndQueue(t *testing.T) {
+	p := NewPort(1 * units.Mbps)
+	if p.Backlog(0) != 0 || p.Queued(0) != 0 {
+		t.Error("fresh port should be idle")
+	}
+	p.Reserve(0, 125*units.KB) // busy until 1s
+	p.Reserve(0, 125*units.KB) // busy until 2s
+	if got := p.Backlog(0); got != 2*time.Second {
+		t.Errorf("backlog = %v, want 2s", got)
+	}
+	if got := p.Queued(0); got != 2 {
+		t.Errorf("queued = %d, want 2", got)
+	}
+	if got := p.Backlog(sim.Time(3 * time.Second)); got != 0 {
+		t.Errorf("drained backlog = %v, want 0", got)
+	}
+	if got := p.Queued(sim.Time(3 * time.Second)); got != 0 {
+		t.Errorf("drained queue = %d, want 0", got)
+	}
+	if p.BusyTime() != 2*time.Second {
+		t.Errorf("BusyTime = %v, want 2s", p.BusyTime())
+	}
+}
+
+func TestPortZeroRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("NewPort(0) should panic")
+		}
+	}()
+	NewPort(0)
+}
+
+func TestPacketize(t *testing.T) {
+	if got := Packetize(0); got != nil {
+		t.Errorf("Packetize(0) = %v, want nil", got)
+	}
+	one := Packetize(100 * units.Byte)
+	if len(one) != 1 || one[0] != 100*units.Byte {
+		t.Errorf("Packetize(100B) = %v", one)
+	}
+	exact := Packetize(2 * PacketPayload)
+	if len(exact) != 2 || exact[0] != PacketPayload || exact[1] != PacketPayload {
+		t.Errorf("Packetize(2*MTU) = %v", exact)
+	}
+	ragged := Packetize(2*PacketPayload + 7)
+	if len(ragged) != 3 || ragged[2] != 7*units.Byte {
+		t.Errorf("Packetize ragged = %v", ragged)
+	}
+}
+
+// Property: packetization conserves bytes and only the last packet is short.
+func TestPacketizeConservationProperty(t *testing.T) {
+	f := func(kb uint16) bool {
+		size := units.ByteSize(kb) * units.KB
+		pkts := Packetize(size)
+		var sum units.ByteSize
+		for i, p := range pkts {
+			sum += p
+			if i < len(pkts)-1 && p != PacketPayload {
+				return false
+			}
+			if p <= 0 {
+				return false
+			}
+		}
+		return sum == size || (size == 0 && len(pkts) == 0)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 1000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// The core §III-B observable: the minimum receiver-side IPG inside a chunk
+// train equals the serialization time of a full packet at the bottleneck.
+func TestTrainIPGReflectsBottleneck(t *testing.T) {
+	cases := []struct {
+		name     string
+		up, down units.BitRate
+		wantIPG  time.Duration
+	}{
+		{"100M->100M", 100 * units.Mbps, 100 * units.Mbps, 100 * time.Microsecond},
+		{"10M->100M", 10 * units.Mbps, 100 * units.Mbps, time.Millisecond},
+		{"100M->10M", 100 * units.Mbps, 10 * units.Mbps, time.Millisecond},
+		{"DSL-up->100M", 512 * units.Kbps, 100 * units.Mbps, 19531250 * time.Nanosecond},
+	}
+	for _, c := range cases {
+		sizes := Packetize(40 * units.KB) // 32-packet train
+		_, arrives := Train(0, sizes, c.up, c.down, 10*time.Millisecond, nil, 0)
+		minIPG := time.Duration(1 << 62)
+		for i := 1; i < len(arrives)-1; i++ { // skip final short packet
+			if g := arrives[i].Sub(arrives[i-1]); g < minIPG {
+				minIPG = g
+			}
+		}
+		if minIPG != c.wantIPG {
+			t.Errorf("%s: min IPG = %v, want %v", c.name, minIPG, c.wantIPG)
+		}
+	}
+}
+
+// The classifier boundary: >10 Mbit/s bottleneck gives IPG < 1 ms,
+// ≤10 Mbit/s gives IPG ≥ 1 ms — even under forwarding jitter, because
+// jitter can only widen gaps above the serialization floor.
+func TestTrainIPGClassifierBoundaryUnderJitter(t *testing.T) {
+	rng := rand.New(rand.NewSource(5))
+	sizes := Packetize(48 * units.KB)
+	for trial := 0; trial < 50; trial++ {
+		_, fast := Train(0, sizes, 100*units.Mbps, 100*units.Mbps,
+			25*time.Millisecond, rng, 2*time.Millisecond)
+		minFast := minGap(fast)
+		if minFast >= time.Millisecond {
+			t.Fatalf("high-bw path min IPG %v ≥ 1ms under jitter", minFast)
+		}
+		_, slow := Train(0, sizes, 10*units.Mbps, 100*units.Mbps,
+			25*time.Millisecond, rng, 2*time.Millisecond)
+		if g := minGap(slow); g < time.Millisecond {
+			t.Fatalf("10Mbps path min IPG %v < 1ms", g)
+		}
+	}
+}
+
+func minGap(arrives []sim.Time) time.Duration {
+	min := time.Duration(1 << 62)
+	for i := 1; i < len(arrives)-1; i++ {
+		if g := arrives[i].Sub(arrives[i-1]); g < min {
+			min = g
+		}
+	}
+	return min
+}
+
+func TestTrainArrivalsMonotone(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	for trial := 0; trial < 100; trial++ {
+		up := units.BitRate(rng.Int63n(int64(100*units.Mbps))) + units.Kbps
+		down := units.BitRate(rng.Int63n(int64(100*units.Mbps))) + units.Kbps
+		sizes := Packetize(units.ByteSize(rng.Int63n(int64(100 * units.KB))))
+		departs, arrives := Train(0, sizes, up, down,
+			time.Duration(rng.Int63n(int64(200*time.Millisecond))),
+			rng, time.Duration(rng.Int63n(int64(5*time.Millisecond))))
+		for i := 1; i < len(arrives); i++ {
+			if arrives[i] < arrives[i-1] {
+				t.Fatal("arrivals not monotone")
+			}
+			if departs[i] < departs[i-1] {
+				t.Fatal("departures not monotone")
+			}
+		}
+		for i := range arrives {
+			if arrives[i] < departs[i] {
+				t.Fatal("packet arrived before it departed")
+			}
+		}
+	}
+}
+
+func TestTrainEmpty(t *testing.T) {
+	d, a := Train(0, nil, units.Mbps, units.Mbps, time.Millisecond, nil, 0)
+	if len(d) != 0 || len(a) != 0 {
+		t.Error("empty train should produce no packets")
+	}
+}
+
+func TestTableIProfiles(t *testing.T) {
+	// The profile constants must match Table I's spec strings.
+	if DSL6.Spec.String() != "6/0.512" {
+		t.Errorf("DSL6 = %v", DSL6.Spec)
+	}
+	if DSL22.Spec.String() != "22/1.8" {
+		t.Errorf("DSL22 = %v", DSL22.Spec)
+	}
+	if DSL25.Spec.String() != "2.5/0.384" {
+		t.Errorf("DSL25 = %v", DSL25.Spec)
+	}
+	if !LAN100.HighBandwidth() || !LAN1000.HighBandwidth() {
+		t.Error("institutional profiles must be high-bw")
+	}
+	for _, l := range []Link{DSL4, DSL6, DSL8, DSL22, DSL25, CATV6} {
+		if l.HighBandwidth() {
+			t.Errorf("home profile %v should not be high-bw", l.Spec)
+		}
+	}
+}
+
+func BenchmarkTrain48KB(b *testing.B) {
+	sizes := Packetize(48 * units.KB)
+	rng := rand.New(rand.NewSource(1))
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		Train(0, sizes, 100*units.Mbps, 100*units.Mbps, 20*time.Millisecond, rng, time.Millisecond)
+	}
+}

@@ -1,0 +1,224 @@
+// Package analysis performs the paper's offline trace inference: it reduces
+// a probe's packet-level capture to per-peer aggregates and derives, from
+// passively observable fields only, everything the core framework needs —
+// video byte ledgers (contributor heuristic of [14]), minimum inter-packet
+// gaps inside video trains (the §III-B packet-pair bandwidth estimator) and
+// router-hop counts from received TTLs.
+//
+// The ground-truth Kind annotation present in records is deliberately not
+// consulted: video packets are recognized by size, exactly as a real trace
+// analysis must. Tests validate the size heuristic against the annotation.
+package analysis
+
+import (
+	"fmt"
+	"io"
+	"net/netip"
+	"sort"
+	"time"
+
+	"napawine/internal/core"
+	"napawine/internal/packet"
+	"napawine/internal/sim"
+	"napawine/internal/sniffer"
+	"napawine/internal/topology"
+	"napawine/internal/units"
+)
+
+// Config tunes the passive heuristics.
+type Config struct {
+	// VideoSizeFloor: packets at least this large are treated as video
+	// payload. Control traffic (buffer maps, requests, keepalives,
+	// bounded peer-exchange lists) stays below it; chunk-train packets
+	// are full MTU except the final fragment.
+	VideoSizeFloor units.ByteSize
+	// FullPacket is the packet-pair probe size: IPG is measured between
+	// consecutive inbound packets of at least this size, so the gap
+	// equals a full packet's serialization time at the bottleneck.
+	FullPacket units.ByteSize
+}
+
+// DefaultConfig matches the paper's setup (1250-byte packets, 1 ms ⇔
+// 10 Mbit/s calibration).
+func DefaultConfig() Config {
+	return Config{VideoSizeFloor: 1000, FullPacket: 1250}
+}
+
+// PeerAggregate accumulates one remote peer's traffic as seen at the probe.
+type PeerAggregate struct {
+	VideoUp, VideoDown int64 // video payload bytes by direction
+	TotalUp, TotalDown int64 // all bytes by direction
+	VideoPktsUp        int
+	VideoPktsDown      int
+
+	// MinIPG is the packet-pair estimate; zero until two consecutive
+	// full-size inbound video packets have been seen.
+	MinIPG time.Duration
+	// MaxTTL over received packets; hop count = 128 − MaxTTL (the
+	// largest TTL corresponds to the fewest hops and is the most direct
+	// observation of the path).
+	MaxTTL   uint8
+	Received bool
+
+	lastFull sim.Time
+	hasFull  bool
+}
+
+// Hops reports the inferred hop count, −1 when nothing was received.
+func (p *PeerAggregate) Hops() int {
+	if !p.Received {
+		return -1
+	}
+	return packet.InitialTTL - int(p.MaxTTL)
+}
+
+// Aggregator consumes a probe's records and maintains per-peer aggregates.
+// It implements sniffer.Consumer, so it can run live during a simulation or
+// be fed from a stored trace with identical results.
+type Aggregator struct {
+	probe netip.Addr
+	cfg   Config
+	peers map[netip.Addr]*PeerAggregate
+	count uint64
+}
+
+// New builds an aggregator for the given probe address.
+func New(probe netip.Addr, cfg Config) *Aggregator {
+	if cfg.VideoSizeFloor <= 0 || cfg.FullPacket < cfg.VideoSizeFloor {
+		panic(fmt.Sprintf("analysis: bad config %+v", cfg))
+	}
+	return &Aggregator{probe: probe, cfg: cfg, peers: make(map[netip.Addr]*PeerAggregate)}
+}
+
+// Probe reports the probe address.
+func (a *Aggregator) Probe() netip.Addr { return a.probe }
+
+// Records reports how many records were consumed.
+func (a *Aggregator) Records() uint64 { return a.count }
+
+// PeerCount reports how many distinct remote peers were observed — the
+// paper's "all peers" population for this probe.
+func (a *Aggregator) PeerCount() int { return len(a.peers) }
+
+// Peer returns the aggregate for one remote address, nil when never seen.
+func (a *Aggregator) Peer(remote netip.Addr) *PeerAggregate { return a.peers[remote] }
+
+// PeerAddrs returns every observed remote address, sorted by descending
+// total video bytes (then by address for determinism). Tools use this to
+// list top contributors.
+func (a *Aggregator) PeerAddrs() []netip.Addr {
+	out := make([]netip.Addr, 0, len(a.peers))
+	for addr := range a.peers {
+		out = append(out, addr)
+	}
+	sort.Slice(out, func(i, j int) bool {
+		vi := a.peers[out[i]].VideoDown + a.peers[out[i]].VideoUp
+		vj := a.peers[out[j]].VideoDown + a.peers[out[j]].VideoUp
+		if vi != vj {
+			return vi > vj
+		}
+		return out[i].Less(out[j])
+	})
+	return out
+}
+
+// Consume folds one record into the aggregates.
+func (a *Aggregator) Consume(r packet.Record) {
+	remote, inbound := sniffer.Remote(r, a.probe)
+	agg := a.peers[remote]
+	if agg == nil {
+		agg = &PeerAggregate{}
+		a.peers[remote] = agg
+	}
+	a.count++
+	size := int64(r.Size)
+	isVideo := r.Size >= a.cfg.VideoSizeFloor
+	if inbound {
+		agg.TotalDown += size
+		agg.Received = true
+		if r.TTL > agg.MaxTTL {
+			agg.MaxTTL = r.TTL
+		}
+		if isVideo {
+			agg.VideoDown += size
+			agg.VideoPktsDown++
+			if r.Size >= a.cfg.FullPacket {
+				if agg.hasFull {
+					gap := r.TS.Sub(agg.lastFull)
+					if gap > 0 && (agg.MinIPG == 0 || gap < agg.MinIPG) {
+						agg.MinIPG = gap
+					}
+				}
+				agg.hasFull = true
+				agg.lastFull = r.TS
+			}
+		}
+	} else {
+		agg.TotalUp += size
+		if isVideo {
+			agg.VideoUp += size
+			agg.VideoPktsUp++
+		}
+	}
+}
+
+// Locator resolves an address to its location facts — in production the
+// registry built into the synthetic topology, in the real world a
+// whois/GeoIP database.
+type Locator interface {
+	Locate(netip.Addr) (topology.Host, bool)
+}
+
+// Observations converts the aggregates into framework observations,
+// resolving locality against loc and marking probe-set membership from
+// probeSet. Peers the locator cannot place are skipped and counted in the
+// second return value (real traces always contain a few unmappable
+// addresses; silently mixing them into a partition would bias it).
+func (a *Aggregator) Observations(loc Locator, probeSet map[netip.Addr]bool) ([]core.Observation, int) {
+	probeHost, ok := loc.Locate(a.probe)
+	if !ok {
+		// A probe outside the registry is a setup bug, not data noise.
+		panic(fmt.Sprintf("analysis: probe %v not in registry", a.probe))
+	}
+	obs := make([]core.Observation, 0, len(a.peers))
+	unlocated := 0
+	for remote, agg := range a.peers {
+		h, ok := loc.Locate(remote)
+		if !ok {
+			unlocated++
+			continue
+		}
+		obs = append(obs, core.Observation{
+			Probe:       a.probe,
+			Peer:        remote,
+			VideoUp:     agg.VideoUp,
+			VideoDown:   agg.VideoDown,
+			TotalUp:     agg.TotalUp,
+			TotalDown:   agg.TotalDown,
+			MinIPG:      agg.MinIPG,
+			Hops:        agg.Hops(),
+			SameAS:      h.AS == probeHost.AS,
+			SameCC:      h.Country == probeHost.Country,
+			SameSubnet:  h.Subnet == probeHost.Subnet,
+			PeerIsProbe: probeSet[remote],
+		})
+	}
+	return obs, unlocated
+}
+
+// FromTrace replays a stored binary trace through a fresh aggregator —
+// the paper's actual workflow (capture during the experiment, analyze
+// offline). The trace's own header determines the probe address.
+func FromTrace(r *packet.Reader, cfg Config) (*Aggregator, error) {
+	a := New(r.Probe(), cfg)
+	for {
+		rec, err := r.Next()
+		if err == io.EOF {
+			return a, nil
+		}
+		if err != nil {
+			return nil, err
+		}
+		a.Consume(rec)
+	}
+}

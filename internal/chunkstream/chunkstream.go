@@ -1,0 +1,258 @@
+// Package chunkstream models the live video feed the swarm distributes: a
+// constant-bit-rate chunk calendar (the paper's channel is 384 kbit/s
+// CCTV-1 encoded with Windows Media 9), sliding-window buffer maps, and a
+// playout tracker for continuity accounting.
+//
+// Chunks are the unit of exchange in every 2008-era mesh-pull P2P-TV
+// system: the source slices the stream into fixed-size pieces, peers
+// advertise what they hold via buffer maps and pull missing pieces from
+// partners before their playout deadline.
+package chunkstream
+
+import (
+	"fmt"
+	"math/bits"
+	"time"
+
+	"napawine/internal/sim"
+	"napawine/internal/units"
+)
+
+// ChunkID numbers chunks from 0 in stream order.
+type ChunkID int64
+
+// Calendar maps virtual time to chunk availability for a CBR stream.
+type Calendar struct {
+	rate  units.BitRate
+	size  units.ByteSize
+	every time.Duration
+}
+
+// NewCalendar builds the chunk calendar for a stream of the given rate cut
+// into chunks of the given size. It panics on non-positive parameters.
+func NewCalendar(rate units.BitRate, chunkSize units.ByteSize) Calendar {
+	if rate <= 0 || chunkSize <= 0 {
+		panic(fmt.Sprintf("chunkstream: bad calendar rate=%v size=%v", rate, chunkSize))
+	}
+	return Calendar{rate: rate, size: chunkSize, every: rate.TransmitTime(chunkSize)}
+}
+
+// Rate reports the stream's nominal bit rate.
+func (c Calendar) Rate() units.BitRate { return c.rate }
+
+// ChunkSize reports the size of every chunk.
+func (c Calendar) ChunkSize() units.ByteSize { return c.size }
+
+// Interval reports the wall-clock spacing between chunk births.
+func (c Calendar) Interval() time.Duration { return c.every }
+
+// LatestAt reports the newest chunk that exists at time t (chunk 0 is born
+// at t=0), or -1 before the stream starts.
+func (c Calendar) LatestAt(t sim.Time) ChunkID {
+	if t < 0 {
+		return -1
+	}
+	return ChunkID(int64(t) / int64(c.every))
+}
+
+// BornAt reports the instant chunk id comes into existence at the source.
+func (c Calendar) BornAt(id ChunkID) sim.Time {
+	return sim.Time(int64(id) * int64(c.every))
+}
+
+// BufferMap is a sliding-window set of chunk ids, the data structure peers
+// gossip to advertise holdings. The window is a fixed-capacity bitfield:
+// real clients cap their buffer at a few tens of seconds of stream.
+type BufferMap struct {
+	base   ChunkID // first id covered by the window
+	window int     // capacity in chunks
+	bits   []uint64
+}
+
+// NewBufferMap builds an empty map covering [base, base+window).
+func NewBufferMap(base ChunkID, window int) *BufferMap {
+	if window <= 0 {
+		panic(fmt.Sprintf("chunkstream: non-positive window %d", window))
+	}
+	return &BufferMap{base: base, window: window, bits: make([]uint64, (window+63)/64)}
+}
+
+// Base reports the lowest chunk id the window covers.
+func (m *BufferMap) Base() ChunkID { return m.base }
+
+// Window reports the window capacity in chunks.
+func (m *BufferMap) Window() int { return m.window }
+
+// contains reports whether id falls inside the window.
+func (m *BufferMap) contains(id ChunkID) bool {
+	return id >= m.base && id < m.base+ChunkID(m.window)
+}
+
+// Set marks id as held. Ids outside the window are ignored and reported:
+// the overlay treats an out-of-window delivery as wasted work.
+func (m *BufferMap) Set(id ChunkID) bool {
+	if !m.contains(id) {
+		return false
+	}
+	off := int(id - m.base)
+	m.bits[off/64] |= 1 << (off % 64)
+	return true
+}
+
+// Has reports whether id is held. Anything outside the window reads false.
+func (m *BufferMap) Has(id ChunkID) bool {
+	if !m.contains(id) {
+		return false
+	}
+	off := int(id - m.base)
+	return m.bits[off/64]&(1<<(off%64)) != 0
+}
+
+// Count reports how many chunks are held.
+func (m *BufferMap) Count() int {
+	n := 0
+	for _, w := range m.bits {
+		n += bits.OnesCount64(w)
+	}
+	return n
+}
+
+// Advance slides the window so it starts at newBase, dropping ids below it.
+// Sliding backwards is a programming error and panics (live streams only
+// move forward).
+func (m *BufferMap) Advance(newBase ChunkID) {
+	if newBase < m.base {
+		panic(fmt.Sprintf("chunkstream: Advance backwards %d < %d", newBase, m.base))
+	}
+	shift := int(newBase - m.base)
+	if shift == 0 {
+		return
+	}
+	if shift >= m.window {
+		for i := range m.bits {
+			m.bits[i] = 0
+		}
+		m.base = newBase
+		return
+	}
+	// Shift the bitfield right by `shift` bits across words.
+	wordShift, bitShift := shift/64, shift%64
+	n := len(m.bits)
+	for i := 0; i < n; i++ {
+		var v uint64
+		if i+wordShift < n {
+			v = m.bits[i+wordShift] >> bitShift
+			if bitShift > 0 && i+wordShift+1 < n {
+				v |= m.bits[i+wordShift+1] << (64 - bitShift)
+			}
+		}
+		m.bits[i] = v
+	}
+	// Clear any bits beyond the window capacity that the shift exposed.
+	m.base = newBase
+	m.clearTail()
+}
+
+// clearTail zeroes bits at positions ≥ window inside the last word.
+func (m *BufferMap) clearTail() {
+	extra := len(m.bits)*64 - m.window
+	if extra > 0 {
+		m.bits[len(m.bits)-1] &= ^uint64(0) >> extra
+	}
+}
+
+// Missing lists held-elsewhere candidates: ids in [from, to) inside the
+// window that are not held. The slice is freshly allocated.
+func (m *BufferMap) Missing(from, to ChunkID) []ChunkID {
+	if from < m.base {
+		from = m.base
+	}
+	if max := m.base + ChunkID(m.window); to > max {
+		to = max
+	}
+	var out []ChunkID
+	for id := from; id < to; id++ {
+		if !m.Has(id) {
+			out = append(out, id)
+		}
+	}
+	return out
+}
+
+// Snapshot encodes the holdings as (base, bitset copy); used to serialize
+// buffer-map signaling packets' payload size and to diff against a partner.
+func (m *BufferMap) Snapshot() (ChunkID, []uint64) {
+	cp := make([]uint64, len(m.bits))
+	copy(cp, m.bits)
+	return m.base, cp
+}
+
+// WireSize reports the bytes a buffer-map announcement occupies on the
+// wire: 8 bytes of base plus the bitfield. Used to size signaling packets.
+func (m *BufferMap) WireSize() units.ByteSize {
+	return units.ByteSize(8 + len(m.bits)*8)
+}
+
+// LoadSnapshot replaces the map's contents with a snapshot received from a
+// partner. The snapshot's word count must match the window capacity; a
+// mismatch panics because it means two peers disagree about the protocol's
+// window size.
+func (m *BufferMap) LoadSnapshot(base ChunkID, bits []uint64) {
+	if len(bits) != len(m.bits) {
+		panic(fmt.Sprintf("chunkstream: snapshot width %d words, window needs %d", len(bits), len(m.bits)))
+	}
+	m.base = base
+	copy(m.bits, bits)
+	m.clearTail()
+}
+
+// Playout tracks in-order delivery to the decoder and accounts continuity:
+// a chunk missing when its deadline passes is skipped and counted as a
+// miss. The continuity index (delivered / due) is the QoE statistic used to
+// sanity-check that an emulated swarm actually sustains the stream.
+type Playout struct {
+	next      ChunkID // next chunk the decoder needs
+	delivered int64
+	missed    int64
+}
+
+// NewPlayout starts the decoder wanting chunk first.
+func NewPlayout(first ChunkID) *Playout { return &Playout{next: first} }
+
+// Next reports the chunk the decoder is waiting for.
+func (p *Playout) Next() ChunkID { return p.next }
+
+// CatchUp consumes chunks from the buffer map up to (and excluding)
+// deadline: chunks present advance delivery; chunks absent once the
+// deadline has passed them are skipped as misses.
+func (p *Playout) CatchUp(m *BufferMap, deadline ChunkID) {
+	for p.next < deadline {
+		if m.Has(p.next) {
+			p.delivered++
+		} else {
+			p.missed++
+		}
+		p.next++
+	}
+}
+
+// Skip advances past the next chunk without charging a miss. Used during
+// join warm-up, when a chunk was due before the peer had any chance to
+// fetch it; counting those as misses would misreport steady-state quality.
+func (p *Playout) Skip() { p.next++ }
+
+// Delivered reports chunks played.
+func (p *Playout) Delivered() int64 { return p.delivered }
+
+// Missed reports chunks skipped.
+func (p *Playout) Missed() int64 { return p.missed }
+
+// Continuity reports delivered/(delivered+missed), 1.0 when nothing was due
+// yet.
+func (p *Playout) Continuity() float64 {
+	due := p.delivered + p.missed
+	if due == 0 {
+		return 1
+	}
+	return float64(p.delivered) / float64(due)
+}

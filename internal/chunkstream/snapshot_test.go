@@ -1,0 +1,53 @@
+package chunkstream
+
+import "testing"
+
+func TestLoadSnapshotRoundTrip(t *testing.T) {
+	src := NewBufferMap(100, 128)
+	src.Set(100)
+	src.Set(177)
+	src.Set(227)
+	base, bits := src.Snapshot()
+
+	dst := NewBufferMap(0, 128)
+	dst.Set(5) // pre-existing state must be fully replaced
+	dst.LoadSnapshot(base, bits)
+	if dst.Base() != 100 {
+		t.Fatalf("base = %d", dst.Base())
+	}
+	for id := ChunkID(100); id < 228; id++ {
+		if dst.Has(id) != src.Has(id) {
+			t.Fatalf("divergence at %d", id)
+		}
+	}
+	if dst.Has(5) {
+		t.Error("old contents survived LoadSnapshot")
+	}
+	if dst.Count() != 3 {
+		t.Errorf("Count = %d, want 3", dst.Count())
+	}
+}
+
+func TestLoadSnapshotWidthMismatchPanics(t *testing.T) {
+	m := NewBufferMap(0, 128)
+	defer func() {
+		if recover() == nil {
+			t.Error("width mismatch should panic")
+		}
+	}()
+	m.LoadSnapshot(0, make([]uint64, 1))
+}
+
+func TestLoadSnapshotClearsTailBits(t *testing.T) {
+	// A malicious/corrupt snapshot with bits beyond the window must not
+	// leak into Has/Count.
+	m := NewBufferMap(0, 70) // 2 words, 58 tail bits unused
+	bits := []uint64{0, ^uint64(0)}
+	m.LoadSnapshot(0, bits)
+	if m.Count() != 6 { // only bits 64..69 are in-window
+		t.Errorf("Count = %d, want 6", m.Count())
+	}
+	if m.Has(70) || m.Has(100) {
+		t.Error("out-of-window bits visible")
+	}
+}

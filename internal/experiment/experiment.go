@@ -1,0 +1,359 @@
+// Package experiment orchestrates full paper experiments: build a world
+// (Table I testbed + background swarm), run one application's swarm for a
+// virtual hour (or any horizon), capture packet traces at every probe, and
+// reduce them — through internal/analysis and internal/core — into the
+// numbers behind Tables II–IV and Figures 1–2.
+package experiment
+
+import (
+	"fmt"
+	"net/netip"
+	"os"
+	"path/filepath"
+	"time"
+
+	"napawine/internal/analysis"
+	"napawine/internal/apps"
+	"napawine/internal/chunkstream"
+	"napawine/internal/core"
+	"napawine/internal/overlay"
+	"napawine/internal/packet"
+	"napawine/internal/sim"
+	"napawine/internal/sniffer"
+	"napawine/internal/stats"
+	"napawine/internal/units"
+	"napawine/internal/world"
+)
+
+// Config parameterizes one experiment run.
+type Config struct {
+	App      string // "PPLive", "SopCast" or "TVAnts"
+	Seed     int64
+	Duration time.Duration // virtual run length
+
+	// Profile, when non-nil, overrides the stock profile selected by App.
+	// This is how ablation variants (apps.Variant) are run: the world and
+	// scale still come from App's defaults, the behaviour from Profile.
+	Profile *overlay.Profile
+
+	World world.Spec
+
+	// Overlay constants (zero values select defaults).
+	BufferWindow  int
+	TrackerBatch  int
+	JitterMax     time.Duration
+	UplinkBusyCap time.Duration
+
+	// Background churn (probes never churn, like the testbed).
+	ChurnMeanOn  time.Duration
+	ChurnMeanOff time.Duration
+
+	// Join staggering windows.
+	BackgroundJoinWindow time.Duration
+	ProbeJoinWindow      time.Duration
+
+	// FlushEvery bounds capture-spool memory during long runs.
+	FlushEvery time.Duration
+
+	// StoreTraces, when non-empty, writes every probe's capture to
+	// <dir>/<probe-label>.nwt in the binary trace format — the paper's
+	// workflow of archiving raw captures for offline analysis (the
+	// NAPA-WINE traces were "made available to the research community").
+	StoreTraces string
+
+	// Analysis knobs.
+	Analysis analysis.Config
+	Contrib  core.ContribThresholds
+}
+
+// Default returns the calibrated configuration for one application. World
+// sizes are scaled down from the paper's populations (PPLive ≫ SopCast ≫
+// TVAnts, §II Table II) to laptop scale while preserving the ratios that
+// drive every percentage in the tables.
+func Default(app string) Config {
+	cfg := Config{
+		App:      app,
+		Seed:     1,
+		Duration: 10 * time.Minute,
+
+		BufferWindow:  90,
+		TrackerBatch:  24,
+		JitterMax:     2 * time.Millisecond,
+		UplinkBusyCap: 2 * time.Second,
+
+		ChurnMeanOn:  150 * time.Second,
+		ChurnMeanOff: 40 * time.Second,
+
+		BackgroundJoinWindow: 60 * time.Second,
+		ProbeJoinWindow:      20 * time.Second,
+		FlushEvery:           10 * time.Second,
+
+		Analysis: analysis.DefaultConfig(),
+		Contrib:  core.DefaultContrib,
+	}
+	cfg.World = world.Spec{
+		Seed:              1,
+		HighBwFraction:    0.70,
+		NATFraction:       0.25,
+		FWFraction:        0.05,
+		SubnetsPerAS:      3,
+		ProbeASBackground: 8,
+	}
+	switch app {
+	case "PPLive":
+		cfg.World.Peers = 1400
+	case "SopCast":
+		cfg.World.Peers = 550
+	case "TVAnts":
+		cfg.World.Peers = 240
+	default:
+		cfg.World.Peers = 500
+	}
+	return cfg
+}
+
+func (c *Config) fillDefaults() {
+	if c.Duration <= 0 {
+		c.Duration = 10 * time.Minute
+	}
+	if c.BufferWindow <= 0 {
+		c.BufferWindow = 90
+	}
+	if c.TrackerBatch <= 0 {
+		c.TrackerBatch = 24
+	}
+	if c.UplinkBusyCap <= 0 {
+		c.UplinkBusyCap = 2 * time.Second
+	}
+	if c.ChurnMeanOn <= 0 {
+		c.ChurnMeanOn = 150 * time.Second
+	}
+	if c.ChurnMeanOff <= 0 {
+		c.ChurnMeanOff = 40 * time.Second
+	}
+	if c.BackgroundJoinWindow <= 0 {
+		c.BackgroundJoinWindow = 60 * time.Second
+	}
+	if c.ProbeJoinWindow <= 0 {
+		c.ProbeJoinWindow = 20 * time.Second
+	}
+	if c.FlushEvery <= 0 {
+		c.FlushEvery = 10 * time.Second
+	}
+	if c.Analysis.VideoSizeFloor == 0 {
+		c.Analysis = analysis.DefaultConfig()
+	}
+	if c.Contrib.MinBytes == 0 {
+		c.Contrib = core.DefaultContrib
+	}
+	if c.World.SubnetsPerAS == 0 {
+		c.World.SubnetsPerAS = 3
+	}
+	if c.World.Seed == 0 {
+		c.World.Seed = c.Seed
+	}
+}
+
+// ProbeStats summarizes one vantage point, feeding Table II.
+type ProbeStats struct {
+	Probe     world.Probe
+	RxKbps    float64 // all inbound bytes over the run
+	TxKbps    float64
+	AllPeers  int // distinct remote addresses seen
+	ContribRx int // download contributors
+	ContribTx int // upload contributors
+}
+
+// Result is everything one run produces.
+type Result struct {
+	App      string
+	Cfg      Config
+	World    *world.World
+	Duration time.Duration
+
+	// Observations across all probes (one entry per probe×peer pair).
+	Observations []core.Observation
+	// Unlocated counts peers the registry could not place.
+	Unlocated int
+
+	PerProbe []ProbeStats
+
+	// HopMedianMeasured is the observed hop median (paper: 18–20).
+	HopMedianMeasured float64
+
+	// MeanContinuity is the average playout continuity across online
+	// peers at the end of the run — the sanity check that the emulated
+	// swarm actually sustained the stream.
+	MeanContinuity float64
+
+	// Ledger is ground truth for validation; analysis never reads it.
+	Ledger *overlay.Ledger
+
+	// Events is the engine's processed-event count (throughput metric).
+	Events uint64
+
+	probeByAddr map[netip.Addr]world.Probe
+}
+
+// ProbeOf resolves a probe address to its testbed identity.
+func (r *Result) ProbeOf(addr netip.Addr) (world.Probe, bool) {
+	p, ok := r.probeByAddr[addr]
+	return p, ok
+}
+
+// Run executes one experiment.
+func Run(cfg Config) (*Result, error) {
+	cfg.fillDefaults()
+	prof := cfg.Profile
+	if prof == nil {
+		var err error
+		prof, err = apps.ByName(cfg.App)
+		if err != nil {
+			return nil, err
+		}
+	}
+	w, err := world.Build(cfg.World)
+	if err != nil {
+		return nil, fmt.Errorf("experiment: world: %w", err)
+	}
+
+	eng := sim.New(cfg.Seed)
+	cal := chunkstream.NewCalendar(apps.StreamRate, 48*units.KB)
+	net := overlay.New(eng, w.Topo, overlay.Config{
+		Calendar:      cal,
+		BufferWindow:  cfg.BufferWindow,
+		TrackerBatch:  cfg.TrackerBatch,
+		JitterMax:     cfg.JitterMax,
+		UplinkBusyCap: cfg.UplinkBusyCap,
+	})
+
+	source := net.AddSource(w.SourceHost, w.SourceLink, prof)
+
+	type probeRT struct {
+		probe world.Probe
+		node  *overlay.Node
+		agg   *analysis.Aggregator
+		tally *sniffer.TallySink
+	}
+	probes := make([]probeRT, 0, len(w.Probes))
+	var traceFiles []*os.File
+	var traceSinks []*sniffer.WriterSink
+	defer func() {
+		for _, f := range traceFiles {
+			f.Close()
+		}
+	}()
+	for _, p := range w.Probes {
+		node := net.AddNode(p.Host, p.Link, prof)
+		cap := net.AttachSniffer(node)
+		agg := analysis.New(p.Host.Addr, cfg.Analysis)
+		tally := sniffer.NewTallySink(p.Host.Addr)
+		cap.Attach(agg)
+		cap.Attach(tally)
+		if cfg.StoreTraces != "" {
+			path := filepath.Join(cfg.StoreTraces, p.Label+".nwt")
+			f, err := os.Create(path)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: trace file: %w", err)
+			}
+			tw, err := packet.NewWriter(f, p.Host.Addr, cfg.App+"/"+p.Label)
+			if err != nil {
+				return nil, fmt.Errorf("experiment: trace header: %w", err)
+			}
+			sink := &sniffer.WriterSink{W: tw}
+			cap.Attach(sink)
+			traceFiles = append(traceFiles, f)
+			traceSinks = append(traceSinks, sink)
+		}
+		probes = append(probes, probeRT{probe: p, node: node, agg: agg, tally: tally})
+	}
+
+	background := make([]*overlay.Node, 0, len(w.Background))
+	for _, bg := range w.Background {
+		background = append(background, net.AddNode(bg.Host, bg.Link, prof))
+	}
+
+	// Arrivals: source first, probes early, background staggered with
+	// churn. All offsets flow from the seeded engine RNG.
+	eng.Schedule(0, source.Join)
+	rng := eng.Rand()
+	for _, p := range probes {
+		node := p.node
+		delay := time.Duration(rng.Int63n(int64(cfg.ProbeJoinWindow)))
+		eng.Schedule(delay, node.Join)
+	}
+	for _, node := range background {
+		first := time.Duration(rng.Int63n(int64(cfg.BackgroundJoinWindow)))
+		meanOn := cfg.ChurnMeanOn
+		if node.Link.HighBandwidth() {
+			// Institutional peers (campus PCs, always-on boxes) hold
+			// sessions much longer than consumer DSL viewers; session
+			// stability is what lets locality-aware clients keep their
+			// few same-AS partners once found.
+			meanOn *= 4
+		}
+		node.ScheduleChurn(first, meanOn, cfg.ChurnMeanOff)
+	}
+
+	// Periodic spool flush bounds memory for hour-scale runs.
+	eng.Every(cfg.FlushEvery, cfg.FlushEvery, 0, net.FlushCapturesBefore)
+
+	eng.Run(cfg.Duration)
+	net.FlushCaptures()
+	for i, sink := range traceSinks {
+		if sink.Err != nil {
+			return nil, fmt.Errorf("experiment: trace write: %w", sink.Err)
+		}
+		if err := sink.W.Close(); err != nil {
+			return nil, fmt.Errorf("experiment: trace close: %w", err)
+		}
+		if err := traceFiles[i].Sync(); err != nil {
+			return nil, fmt.Errorf("experiment: trace sync: %w", err)
+		}
+	}
+
+	// Reduce.
+	res := &Result{
+		App:         cfg.App,
+		Cfg:         cfg,
+		World:       w,
+		Duration:    cfg.Duration,
+		Ledger:      net.Ledger,
+		Events:      eng.Processed(),
+		probeByAddr: make(map[netip.Addr]world.Probe, len(w.Probes)),
+	}
+	probeSet := w.ProbeAddrs()
+	secs := cfg.Duration.Seconds()
+	var continuity stats.Accumulator
+	for _, p := range probes {
+		res.probeByAddr[p.probe.Host.Addr] = p.probe
+		obs, unlocated := p.agg.Observations(w.Topo, probeSet)
+		res.Unlocated += unlocated
+		stat := ProbeStats{
+			Probe:    p.probe,
+			RxKbps:   float64(p.tally.InBytes) * 8 / 1000 / secs,
+			TxKbps:   float64(p.tally.OutBytes) * 8 / 1000 / secs,
+			AllPeers: p.agg.PeerCount(),
+		}
+		for _, o := range obs {
+			if core.Contributor(o, core.Download, cfg.Contrib) {
+				stat.ContribRx++
+			}
+			if core.Contributor(o, core.Upload, cfg.Contrib) {
+				stat.ContribTx++
+			}
+		}
+		res.PerProbe = append(res.PerProbe, stat)
+		res.Observations = append(res.Observations, obs...)
+	}
+	if med, ok := core.HopMedian(res.Observations); ok {
+		res.HopMedianMeasured = med
+	}
+	for _, n := range net.Nodes() {
+		if n.Online() && !n.IsSource() {
+			continuity.Add(n.Continuity())
+		}
+	}
+	res.MeanContinuity = continuity.Mean()
+	return res, nil
+}

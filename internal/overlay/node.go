@@ -1,0 +1,603 @@
+package overlay
+
+import (
+	"sort"
+	"time"
+
+	"napawine/internal/access"
+	"napawine/internal/chunkstream"
+	"napawine/internal/policy"
+	"napawine/internal/sim"
+	"napawine/internal/sniffer"
+	"napawine/internal/topology"
+	"napawine/internal/units"
+)
+
+// partner is the per-neighbour state a node keeps for peers it actively
+// exchanges video with.
+type partner struct {
+	node *Node
+	// have mirrors the partner's last advertised buffer map.
+	have *chunkstream.BufferMap
+	// info carries the locality facts plus the running delivery-rate
+	// estimate that selection policies consume.
+	info policy.Info
+	// consecutive failures (timeouts/rejections) since the last success.
+	failures int
+}
+
+// pendingReq tracks one outstanding chunk request.
+type pendingReq struct {
+	chunk    chunkstream.ChunkID
+	from     PeerID
+	sentAt   sim.Time
+	timedOut bool
+}
+
+// Node is one peer in the swarm.
+type Node struct {
+	net     *Network
+	ID      PeerID
+	Host    topology.Host
+	Link    access.Link
+	Profile *Profile
+
+	up, down *access.Port
+
+	buf  *chunkstream.BufferMap
+	play *chunkstream.Playout
+
+	partners  map[PeerID]*partner
+	neighbors []PeerID // contacted, remembered for keepalives (bounded)
+	inflight  map[chunkstream.ChunkID]*pendingReq
+	// rateMemory persists per-remote delivery-rate estimates across
+	// partnership episodes within one session.
+	rateMemory map[PeerID]units.BitRate
+
+	isSource  bool
+	online    bool
+	onlineIdx int
+	onlineAt  sim.Time
+
+	capture *sniffer.Capture
+	spool   *sniffer.Spool
+
+	cancels []func()
+}
+
+// Online reports whether the node is currently participating.
+func (nd *Node) Online() bool { return nd.online }
+
+// Partners reports the current partner count.
+func (nd *Node) Partners() int { return len(nd.partners) }
+
+// Continuity reports the playout continuity achieved so far (1.0 before
+// anything was due). Sources report 1.
+func (nd *Node) Continuity() float64 {
+	if nd.isSource || nd.play == nil {
+		return 1
+	}
+	return nd.play.Continuity()
+}
+
+// Buffered reports how many chunks the node currently holds.
+func (nd *Node) Buffered() int {
+	if nd.buf == nil {
+		return 0
+	}
+	return nd.buf.Count()
+}
+
+// IsSource reports whether this node is the stream origin.
+func (nd *Node) IsSource() bool { return nd.isSource }
+
+// hasChunk answers availability; the source holds everything already born.
+func (nd *Node) hasChunk(id chunkstream.ChunkID, now sim.Time) bool {
+	if nd.isSource {
+		return id >= 0 && id <= nd.net.Cfg.Calendar.LatestAt(now)
+	}
+	return nd.buf != nil && nd.buf.Has(id)
+}
+
+// Join brings the node online: it resets buffers to the live edge, asks the
+// tracker for candidates, forms initial partnerships and starts its
+// periodic activities.
+func (nd *Node) Join() {
+	if nd.online {
+		return
+	}
+	nd.online = true
+	nd.onlineAt = nd.net.Eng.Now()
+	nd.net.markOnline(nd)
+
+	cal := nd.net.Cfg.Calendar
+	live := cal.LatestAt(nd.net.Eng.Now())
+	if live < 0 {
+		live = 0
+	}
+	base := live - chunkstream.ChunkID(nd.net.Cfg.BufferWindow)
+	if base < 0 {
+		base = 0
+	}
+	nd.buf = chunkstream.NewBufferMap(base, nd.net.Cfg.BufferWindow)
+	start := live - chunkstream.ChunkID(nd.Profile.PullDelay)
+	if start < 0 {
+		start = 0
+	}
+	nd.play = chunkstream.NewPlayout(start)
+	nd.inflight = make(map[chunkstream.ChunkID]*pendingReq)
+	nd.partners = make(map[PeerID]*partner)
+	nd.neighbors = nil
+	if nd.rateMemory == nil {
+		nd.rateMemory = make(map[PeerID]units.BitRate)
+	}
+
+	eng := nd.net.Eng
+	p := nd.Profile
+	jitter := func(d time.Duration) time.Duration { return d / 4 }
+
+	nd.refillPartners()
+
+	nd.cancels = append(nd.cancels,
+		eng.Every(p.SignalingInterval, p.SignalingInterval, jitter(p.SignalingInterval), nd.signalingTick))
+	if !nd.isSource {
+		nd.cancels = append(nd.cancels,
+			eng.Every(p.ScheduleInterval, p.ScheduleInterval, jitter(p.ScheduleInterval), nd.scheduleTick))
+	}
+	nd.cancels = append(nd.cancels,
+		eng.Every(p.ContactInterval, p.ContactInterval, jitter(p.ContactInterval), nd.contactTick))
+	nd.cancels = append(nd.cancels,
+		eng.Every(p.DropInterval, p.DropInterval, jitter(p.DropInterval), nd.churnTick))
+}
+
+// Leave takes the node offline, cancelling periodic work. Partner state at
+// remote peers decays lazily: their next interaction notices the absence.
+func (nd *Node) Leave() {
+	if !nd.online {
+		return
+	}
+	nd.online = false
+	nd.net.markOffline(nd)
+	for _, c := range nd.cancels {
+		c()
+	}
+	nd.cancels = nil
+	nd.partners = make(map[PeerID]*partner)
+	nd.inflight = make(map[chunkstream.ChunkID]*pendingReq)
+}
+
+// ScheduleChurn makes the node cycle online/offline with exponential
+// holding times; permanent probe nodes simply never call this. The first
+// join happens after `firstJoin`.
+func (nd *Node) ScheduleChurn(firstJoin time.Duration, meanOn, meanOff time.Duration) {
+	eng := nd.net.Eng
+	rng := eng.Rand()
+	expDur := func(mean time.Duration) time.Duration {
+		d := time.Duration(rng.ExpFloat64() * float64(mean))
+		if d < time.Second {
+			d = time.Second
+		}
+		if d > 10*mean {
+			d = 10 * mean
+		}
+		return d
+	}
+	var cycle func()
+	cycle = func() {
+		nd.Join()
+		eng.Schedule(expDur(meanOn), func() {
+			nd.Leave()
+			eng.Schedule(expDur(meanOff), cycle)
+		})
+	}
+	eng.Schedule(firstJoin, cycle)
+}
+
+// sortedPartners returns the partner set ordered by peer id. Every
+// iteration that consumes randomness or emits events must use this instead
+// of ranging over the map: Go map order is randomized per run, and leaking
+// it into the event sequence would break seed-reproducibility.
+func (nd *Node) sortedPartners() []*partner {
+	out := make([]*partner, 0, len(nd.partners))
+	for _, p := range nd.partners {
+		out = append(out, p)
+	}
+	sort.Slice(out, func(i, j int) bool { return out[i].node.ID < out[j].node.ID })
+	return out
+}
+
+// infoFor assembles the policy-visible facts about a remote node.
+func (nd *Node) infoFor(other *Node) policy.Info {
+	return policy.Info{
+		SameSubnet: nd.Host.Subnet == other.Host.Subnet,
+		SameAS:     nd.Host.AS == other.Host.AS,
+		SameCC:     nd.Host.Country == other.Host.Country,
+		RTT:        nd.net.Topo.RTT(nd.Host, other.Host),
+	}
+}
+
+// refillPartners queries the tracker and adopts candidates, weighted by the
+// profile's DiscoveryWeight, until the partner target is met.
+func (nd *Node) refillPartners() {
+	need := nd.Profile.PartnerTarget - len(nd.partners)
+	if need <= 0 {
+		return
+	}
+	cands := nd.net.trackerSample(nd, nd.net.Cfg.TrackerBatch)
+	pool := make([]policy.Candidate, 0, len(cands))
+	for i, c := range cands {
+		if _, dup := nd.partners[c.ID]; dup {
+			continue
+		}
+		if !c.Link.AcceptsFrom(nd.Link) {
+			continue
+		}
+		pool = append(pool, policy.Candidate{Index: i, Info: nd.infoFor(c)})
+	}
+	for _, pick := range policy.Sample(nd.net.Eng.Rand(), pool, need, nd.Profile.DiscoveryWeight) {
+		nd.handshake(cands[pick.Index])
+	}
+}
+
+// handshake performs the two-packet introduction and, when both sides have
+// room, establishes a partnership. Every handshake also records the remote
+// in the neighbor list (the "contacted peers" population).
+func (nd *Node) handshake(other *Node) {
+	if !other.online || other.ID == nd.ID {
+		return
+	}
+	nd.net.sendSignal(nd, other, handshakeSize)
+	nd.net.sendSignal(other, nd, handshakeSize)
+	nd.rememberNeighbor(other.ID)
+	other.rememberNeighbor(nd.ID)
+	if len(nd.partners) >= nd.Profile.MaxPartners || len(other.partners) >= other.Profile.MaxPartners {
+		return
+	}
+	nd.addPartner(other)
+	other.addPartner(nd)
+}
+
+func (nd *Node) addPartner(other *Node) {
+	if _, dup := nd.partners[other.ID]; dup {
+		return
+	}
+	info := nd.infoFor(other)
+	// Clients remember how a peer performed in earlier partnership
+	// episodes; without this, partner churn would erase every bandwidth
+	// measurement and selection would stay near-uniform forever.
+	if nd.rateMemory != nil {
+		info.EstRate = nd.rateMemory[other.ID]
+	}
+	nd.partners[other.ID] = &partner{
+		node: other,
+		have: chunkstream.NewBufferMap(0, nd.net.Cfg.BufferWindow),
+		info: info,
+	}
+}
+
+func (nd *Node) dropPartner(id PeerID) {
+	delete(nd.partners, id)
+	if other := nd.net.NodeByID(id); other != nil {
+		delete(other.partners, nd.ID)
+	}
+}
+
+func (nd *Node) rememberNeighbor(id PeerID) {
+	max := nd.Profile.NeighborListMax
+	if max <= 0 {
+		return
+	}
+	for _, n := range nd.neighbors {
+		if n == id {
+			return
+		}
+	}
+	if len(nd.neighbors) >= max {
+		// Evict the oldest: neighbor lists behave like bounded FIFOs.
+		copy(nd.neighbors, nd.neighbors[1:])
+		nd.neighbors[len(nd.neighbors)-1] = id
+		return
+	}
+	nd.neighbors = append(nd.neighbors, id)
+}
+
+// contactTick gossips with one fresh random peer: handshake packets plus a
+// peer-exchange message whose size grows with the neighbor list. This is
+// what makes aggressive clients (PPLive) observe enormous peer populations.
+func (nd *Node) contactTick() {
+	if !nd.online {
+		return
+	}
+	cands := nd.net.trackerSample(nd, 3)
+	for _, c := range cands {
+		if _, dup := nd.partners[c.ID]; dup {
+			continue
+		}
+		if !c.Link.AcceptsFrom(nd.Link) && !nd.Link.AcceptsFrom(c.Link) {
+			continue
+		}
+		// Peer exchange both ways, list length capped per message.
+		mine := len(nd.neighbors)
+		if mine > gossipMaxEntries {
+			mine = gossipMaxEntries
+		}
+		theirs := len(c.neighbors)
+		if theirs > gossipMaxEntries {
+			theirs = gossipMaxEntries
+		}
+		nd.net.sendSignal(nd, c, gossipHeader+gossipPerPeer*units.ByteSize(mine))
+		nd.net.sendSignal(c, nd, gossipHeader+gossipPerPeer*units.ByteSize(theirs))
+		nd.rememberNeighbor(c.ID)
+		c.rememberNeighbor(nd.ID)
+		// Adopt as partner when short-handed, using the discovery policy
+		// as an accept/reject filter relative to a uniform candidate.
+		if len(nd.partners) < nd.Profile.PartnerTarget && len(c.partners) < c.Profile.MaxPartners {
+			info := nd.infoFor(c)
+			w := nd.Profile.DiscoveryWeight.Weight(info)
+			base := nd.Profile.DiscoveryWeight.Weight(policy.Info{})
+			if base <= 0 {
+				base = 1
+			}
+			accept := w >= base || nd.net.Eng.Rand().Float64() < w/base
+			if accept {
+				nd.addPartner(c)
+				c.addPartner(nd)
+			}
+		}
+		break // one gossip exchange per tick
+	}
+}
+
+// signalingTick pushes the node's buffer map to each partner and keepalives
+// a random slice of the neighbor list.
+func (nd *Node) signalingTick() {
+	if !nd.online {
+		return
+	}
+	if nd.buf != nil {
+		base, bits := nd.buf.Snapshot()
+		size := nd.buf.WireSize() + 40 // header overhead
+		for _, p := range nd.sortedPartners() {
+			if !p.node.online {
+				nd.dropPartner(p.node.ID)
+				continue
+			}
+			nd.net.sendSignal(nd, p.node, size)
+			// The partner learns our holdings.
+			if remote, ok := p.node.partners[nd.ID]; ok {
+				remote.have.LoadSnapshot(base, bits)
+			}
+		}
+	}
+	// Keepalives to a bounded random subset of remembered neighbors.
+	fan := nd.Profile.KeepaliveFanout
+	rng := nd.net.Eng.Rand()
+	for i := 0; i < fan && len(nd.neighbors) > 0; i++ {
+		id := nd.neighbors[rng.Intn(len(nd.neighbors))]
+		other := nd.net.NodeByID(id)
+		if other != nil && other.online {
+			nd.net.sendSignal(nd, other, keepaliveSize)
+			nd.net.sendSignal(other, nd, keepaliveSize)
+		}
+	}
+}
+
+// churnTick drops the least valuable partner (by RetainWeight) once the set
+// is full, then refills. Replacing the weakest contributor with a fresh
+// candidate is the adaptation loop that concentrates traffic on
+// high-bandwidth peers.
+func (nd *Node) churnTick() {
+	if !nd.online {
+		return
+	}
+	// Forget dead partners first.
+	for _, p := range nd.sortedPartners() {
+		if !p.node.online {
+			nd.dropPartner(p.node.ID)
+		}
+	}
+	if len(nd.partners) >= nd.Profile.PartnerTarget {
+		sorted := nd.sortedPartners()
+		cands := make([]policy.Candidate, 0, len(sorted))
+		for _, p := range sorted {
+			cands = append(cands, policy.Candidate{Index: int(p.node.ID), Info: p.info})
+		}
+		worst := policy.Worst(cands, nd.Profile.RetainWeight)
+		if worst.Index >= 0 {
+			nd.dropPartner(PeerID(worst.Index))
+		}
+	}
+	nd.refillPartners()
+}
+
+// scheduleTick is the pull scheduler: advance the window, account playout,
+// and issue chunk requests for missing pieces in the pull range.
+func (nd *Node) scheduleTick() {
+	if !nd.online || nd.isSource {
+		return
+	}
+	now := nd.net.Eng.Now()
+	cal := nd.net.Cfg.Calendar
+	live := cal.LatestAt(now)
+	if live < 0 {
+		return
+	}
+	p := nd.Profile
+
+	// Slide the buffer window to track the live edge.
+	base := live - chunkstream.ChunkID(nd.net.Cfg.BufferWindow) + 4
+	if base < 0 {
+		base = 0
+	}
+	if base > nd.buf.Base() {
+		nd.buf.Advance(base)
+	}
+
+	// Playout deadline: PullDelay+PullWindow chunks behind live.
+	deadline := live - chunkstream.ChunkID(p.PullDelay+p.PullWindow)
+	if deadline > nd.play.Next() {
+		start := nd.onlineAt
+		// Grace: do not charge misses for chunks due before we had a
+		// realistic chance to fetch them (join warm-up).
+		if now.Sub(start) > 2*time.Duration(p.PullDelay+p.PullWindow)*cal.Interval() {
+			nd.play.CatchUp(nd.buf, deadline)
+		} else {
+			for nd.play.Next() < deadline {
+				if nd.buf.Has(nd.play.Next()) {
+					nd.play.CatchUp(nd.buf, nd.play.Next()+1)
+				} else {
+					nd.play.Skip()
+				}
+			}
+		}
+	}
+
+	// Expire stale requests (sorted for deterministic RNG consumption).
+	expired := make([]chunkstream.ChunkID, 0, len(nd.inflight))
+	for id, req := range nd.inflight {
+		if now.Sub(req.sentAt) > p.RequestTimeout {
+			expired = append(expired, id)
+		}
+	}
+	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
+	for _, id := range expired {
+		req := nd.inflight[id]
+		delete(nd.inflight, id)
+		nd.net.Ledger.Timeouts[nd.ID]++
+		if pr, ok := nd.partners[req.from]; ok {
+			pr.failures++
+			pr.info.EstRate /= 2 // stale partner loses standing
+			if pr.failures >= 4 {
+				nd.dropPartner(req.from)
+			}
+		}
+	}
+
+	// Request missing chunks. Order matters enormously for swarm health:
+	// pure oldest-first makes every peer fetch each chunk at the last
+	// moment, so no one holds it early enough to serve others and the
+	// source becomes the only provider. Like CoolStreaming-style
+	// schedulers, we pull urgent chunks (close to the playout deadline)
+	// in order, and spread the remaining budget over the window at
+	// random so availability diversifies.
+	lo := live - chunkstream.ChunkID(p.PullDelay+p.PullWindow)
+	hi := live - chunkstream.ChunkID(p.PullDelay)
+	if lo < nd.play.Next() {
+		lo = nd.play.Next()
+	}
+	if lo < 0 {
+		lo = 0
+	}
+	budget := p.MaxInflight - len(nd.inflight)
+
+	// Greedy pass: fill from the single best partner first. Whatever the
+	// best partner advertises and we miss, we take from it directly —
+	// this is what converts a selection *weight* into a byte-share
+	// *preference* observable in traces.
+	if p.BestFill > 0 && budget > 0 {
+		if best := nd.bestPartner(); best != nil {
+			fill := p.BestFill
+			for id := lo; id <= hi && fill > 0 && budget > 0; id++ {
+				if nd.buf.Has(id) {
+					continue
+				}
+				if _, pending := nd.inflight[id]; pending {
+					continue
+				}
+				if !best.have.Has(id) {
+					continue
+				}
+				nd.inflight[id] = &pendingReq{chunk: id, from: best.node.ID, sentAt: now}
+				nd.net.sendRequest(nd, best.node, id)
+				fill--
+				budget--
+			}
+		}
+	}
+
+	// The shopping pass covers only the older portion of the window when
+	// a greedy pass is configured: young chunks get a grace period in
+	// which the preferred partner may advertise them, instead of being
+	// snapped up from whoever happens to hold them first. Without
+	// BestFill the full window is shopped (pure CoolStreaming-style).
+	shopHi := hi
+	if p.BestFill > 0 {
+		shopHi = lo + chunkstream.ChunkID(2*p.PullWindow/3)
+		if shopHi > hi {
+			shopHi = hi
+		}
+	}
+	var urgent, rest []chunkstream.ChunkID
+	urgentEdge := lo + chunkstream.ChunkID(p.PullWindow/3)
+	for id := lo; id <= shopHi; id++ {
+		if nd.buf.Has(id) {
+			continue
+		}
+		if _, pending := nd.inflight[id]; pending {
+			continue
+		}
+		if id < urgentEdge {
+			urgent = append(urgent, id)
+		} else {
+			rest = append(rest, id)
+		}
+	}
+	rng := nd.net.Eng.Rand()
+	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
+	for _, id := range append(urgent, rest...) {
+		if budget <= 0 {
+			break
+		}
+		if nd.requestChunk(id, now) {
+			budget--
+		}
+	}
+}
+
+// bestPartner returns the online, non-source partner with the highest
+// RequestWeight, nil when none. Ties break toward the lower peer id for
+// determinism.
+func (nd *Node) bestPartner() *partner {
+	var best *partner
+	bestW := 0.0
+	for _, p := range nd.sortedPartners() {
+		if !p.node.online || p.node.isSource {
+			continue
+		}
+		w := nd.Profile.RequestWeight.Weight(p.info)
+		if w > bestW {
+			best, bestW = p, w
+		}
+	}
+	return best
+}
+
+// requestChunk picks a partner advertising id (the source counts as always
+// advertising) using the profile's RequestWeight and sends the request.
+// Reports whether a request went out.
+func (nd *Node) requestChunk(id chunkstream.ChunkID, now sim.Time) bool {
+	cands := make([]policy.Candidate, 0, len(nd.partners))
+	order := make([]*partner, 0, len(nd.partners))
+	for _, p := range nd.sortedPartners() {
+		if !p.node.online {
+			continue
+		}
+		// A client only knows what the partner advertised; the single
+		// exception is the source, which everyone knows holds the feed.
+		if (p.node.isSource && p.node.hasChunk(id, now)) || p.have.Has(id) {
+			cands = append(cands, policy.Candidate{Index: len(order), Info: p.info})
+			order = append(order, p)
+		}
+	}
+	if len(cands) == 0 {
+		return false
+	}
+	pick := policy.PickOne(nd.net.Eng.Rand(), cands, nd.Profile.RequestWeight)
+	if pick.Index < 0 {
+		return false
+	}
+	target := order[pick.Index]
+	nd.inflight[id] = &pendingReq{chunk: id, from: target.node.ID, sentAt: now}
+	nd.net.sendRequest(nd, target.node, id)
+	return true
+}

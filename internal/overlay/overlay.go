@@ -1,0 +1,321 @@
+// Package overlay implements a mesh-pull P2P live-streaming engine of the
+// kind every 2008-era commercial client (PPLive, SopCast, TVAnts) is known
+// to embody: a tracker hands out peer candidates, peers gossip and keep a
+// partner set, advertise holdings with buffer maps, and pull missing chunks
+// from partners before their playout deadline.
+//
+// The engine is parameterized by a Profile whose policy knobs — discovery
+// weighting, request weighting, partner-retention weighting, contact rate,
+// partner-set size — are precisely the "network awareness" the paper's
+// methodology is designed to expose from the traffic. internal/apps ships
+// three profiles emulating the measured behaviours of PPLive, SopCast and
+// TVAnts.
+//
+// All activity runs inside one deterministic sim.Engine. Packet records are
+// materialized only at nodes that carry a sniffer (the NAPA-WINE probes),
+// which keeps large swarms tractable while preserving exact per-packet
+// observables where it matters.
+package overlay
+
+import (
+	"fmt"
+	"time"
+
+	"napawine/internal/access"
+	"napawine/internal/chunkstream"
+	"napawine/internal/policy"
+	"napawine/internal/sim"
+	"napawine/internal/sniffer"
+	"napawine/internal/topology"
+	"napawine/internal/units"
+)
+
+// PeerID identifies a node inside one Network.
+type PeerID int32
+
+// Profile is the behavioural parameter set of one application. See
+// internal/apps for the three paper profiles.
+type Profile struct {
+	Name string
+
+	// Partner management.
+	PartnerTarget int           // partners a node tries to hold
+	MaxPartners   int           // hard acceptance cap (≥ PartnerTarget)
+	DropInterval  time.Duration // how often the worst partner is churned out
+
+	// Discovery.
+	ContactInterval time.Duration // gossip handshakes with new random peers
+	NeighborListMax int           // contacted peers remembered (keepalive set)
+
+	// Signaling.
+	SignalingInterval time.Duration // buffer-map push period
+	KeepaliveFanout   int           // neighbors pinged per signaling round
+
+	// Pull scheduling.
+	ScheduleInterval time.Duration // chunk scheduler tick
+	PullDelay        int           // chunks behind the live edge before pulling
+	PullWindow       int           // width of the pull range, in chunks
+	MaxInflight      int           // outstanding chunk requests
+	RequestTimeout   time.Duration
+	// BestFill is the greedy component of the scheduler: up to this many
+	// chunks per tick are pulled directly from the highest-RequestWeight
+	// partner that advertises them, before the randomized pass shops the
+	// rest around. It is how a strongly weighted partner (a fast peer, or
+	// a same-AS peer under an AS-biased profile) actually ends up
+	// carrying a disproportionate share of bytes. Zero disables it.
+	BestFill int
+
+	// Awareness knobs (the subject of the whole study).
+	DiscoveryWeight policy.Weight // choosing partners among candidates
+	RequestWeight   policy.Weight // choosing whom to pull a chunk from
+	RetainWeight    policy.Weight // valuing partners at churn time
+}
+
+// validate panics on profiles that cannot run; these are programming errors
+// in experiment setup, not runtime conditions.
+func (p *Profile) validate() {
+	switch {
+	case p.Name == "":
+		panic("overlay: profile without a name")
+	case p.PartnerTarget <= 0 || p.MaxPartners < p.PartnerTarget:
+		panic(fmt.Sprintf("overlay: %s: bad partner bounds %d/%d", p.Name, p.PartnerTarget, p.MaxPartners))
+	case p.ContactInterval <= 0 || p.SignalingInterval <= 0 || p.ScheduleInterval <= 0:
+		panic(fmt.Sprintf("overlay: %s: non-positive intervals", p.Name))
+	case p.PullDelay < 1 || p.PullWindow < 1 || p.MaxInflight < 1:
+		panic(fmt.Sprintf("overlay: %s: bad pull shape", p.Name))
+	case p.RequestTimeout <= 0 || p.DropInterval <= 0:
+		panic(fmt.Sprintf("overlay: %s: bad timers", p.Name))
+	case p.DiscoveryWeight == nil || p.RequestWeight == nil || p.RetainWeight == nil:
+		panic(fmt.Sprintf("overlay: %s: nil policy", p.Name))
+	}
+}
+
+// Config carries network-wide constants.
+type Config struct {
+	Calendar     chunkstream.Calendar
+	BufferWindow int           // chunks each node's buffer map covers
+	TrackerBatch int           // candidates per tracker query
+	JitterMax    time.Duration // per-packet forwarding jitter bound
+	// UplinkBusyCap is the backlog beyond which a node rejects chunk
+	// requests instead of queueing them; rejections are what steer
+	// requesters toward fast peers.
+	UplinkBusyCap time.Duration
+}
+
+func (c *Config) validate() {
+	if c.BufferWindow <= 0 {
+		panic("overlay: non-positive buffer window")
+	}
+	if c.TrackerBatch <= 0 {
+		panic("overlay: non-positive tracker batch")
+	}
+	if c.UplinkBusyCap <= 0 {
+		panic("overlay: non-positive uplink busy cap")
+	}
+}
+
+// wire-size constants for control traffic (bytes, representative of the
+// UDP payloads observed for these clients).
+const (
+	handshakeSize = 80 * units.Byte
+	requestSize   = 60 * units.Byte
+	rejectSize    = 40 * units.Byte
+	keepaliveSize = 48 * units.Byte
+	// peer-exchange messages carry peer lists and dominate PPLive's
+	// signaling volume. Entries per message are bounded so a PX packet
+	// always fits one MTU and stays clearly below video-packet size —
+	// larger lists are split across successive gossip rounds, as the
+	// real clients do.
+	gossipHeader     = 40 * units.Byte
+	gossipPerPeer    = 6 * units.Byte
+	gossipMaxEntries = 100
+)
+
+// PairKey orders two peer ids for use as a map key of an unordered pair.
+type PairKey struct{ A, B PeerID }
+
+// MakePairKey builds the canonical (ordered) key.
+func MakePairKey(a, b PeerID) PairKey {
+	if a > b {
+		a, b = b, a
+	}
+	return PairKey{A: a, B: b}
+}
+
+// Ledger is the ground-truth accounting kept by the network itself,
+// independent of what probes can see. The analysis layer never reads it for
+// inference; tests and EXPERIMENTS.md use it to validate what the passive
+// methodology recovered.
+type Ledger struct {
+	// VideoByPair counts video payload bytes per directed pair.
+	VideoByPair map[[2]PeerID]int64
+	// Totals per node.
+	VideoRx, VideoTx   map[PeerID]int64
+	SignalRx, SignalTx map[PeerID]int64
+	ChunksServed       map[PeerID]int64
+	Rejections         map[PeerID]int64
+	Timeouts           map[PeerID]int64
+}
+
+func newLedger() *Ledger {
+	return &Ledger{
+		VideoByPair:  make(map[[2]PeerID]int64),
+		VideoRx:      make(map[PeerID]int64),
+		VideoTx:      make(map[PeerID]int64),
+		SignalRx:     make(map[PeerID]int64),
+		SignalTx:     make(map[PeerID]int64),
+		ChunksServed: make(map[PeerID]int64),
+		Rejections:   make(map[PeerID]int64),
+		Timeouts:     make(map[PeerID]int64),
+	}
+}
+
+func (l *Ledger) video(from, to PeerID, n int64) {
+	l.VideoByPair[[2]PeerID{from, to}] += n
+	l.VideoTx[from] += n
+	l.VideoRx[to] += n
+}
+
+func (l *Ledger) signal(from, to PeerID, n int64) {
+	l.SignalTx[from] += n
+	l.SignalRx[to] += n
+}
+
+// Network owns every node of one emulated swarm.
+type Network struct {
+	Eng    *sim.Engine
+	Topo   *topology.Topology
+	Cfg    Config
+	Ledger *Ledger
+
+	nodes  []*Node
+	online []*Node // compact set for O(1) random tracker sampling
+	source *Node
+}
+
+// New builds an empty network on the given engine and topology.
+func New(eng *sim.Engine, topo *topology.Topology, cfg Config) *Network {
+	cfg.validate()
+	return &Network{Eng: eng, Topo: topo, Cfg: cfg, Ledger: newLedger()}
+}
+
+// Nodes returns all nodes ever added, in creation order.
+func (n *Network) Nodes() []*Node { return n.nodes }
+
+// OnlineCount reports how many nodes are currently online.
+func (n *Network) OnlineCount() int { return len(n.online) }
+
+// Source returns the stream source node, nil before AddSource.
+func (n *Network) Source() *Node { return n.source }
+
+// AddNode creates a node. It does not join the overlay until Join (or
+// ScheduleChurn) is called, so the experiment layer controls arrival times.
+func (n *Network) AddNode(host topology.Host, link access.Link, prof *Profile) *Node {
+	prof.validate()
+	node := &Node{
+		net:      n,
+		ID:       PeerID(len(n.nodes)),
+		Host:     host,
+		Link:     link,
+		Profile:  prof,
+		up:       access.NewPort(link.Spec.Up),
+		down:     access.NewPort(link.Spec.Down),
+		partners: make(map[PeerID]*partner),
+		inflight: make(map[chunkstream.ChunkID]*pendingReq),
+		onlineAt: -1,
+	}
+	n.nodes = append(n.nodes, node)
+	return node
+}
+
+// AddSource creates the stream origin: a node that natively holds every
+// chunk the calendar has produced and never pulls. Only one source is
+// supported (the paper's channel has a single injection point).
+func (n *Network) AddSource(host topology.Host, link access.Link, prof *Profile) *Node {
+	if n.source != nil {
+		panic("overlay: second source")
+	}
+	node := n.AddNode(host, link, prof)
+	node.isSource = true
+	n.source = node
+	return node
+}
+
+// AttachSniffer equips a node with a probe capture; records for every
+// packet crossing the node's access link will be spooled and can be drained
+// with FlushCaptures.
+func (n *Network) AttachSniffer(node *Node) *sniffer.Capture {
+	if node.capture != nil {
+		return node.capture
+	}
+	node.capture = sniffer.New(node.Host.Addr)
+	node.spool = &sniffer.Spool{}
+	return node.capture
+}
+
+// FlushCaptures drains every probe spool into its capture in timestamp
+// order. Call once after the run (or periodically between runs).
+func (n *Network) FlushCaptures() {
+	for _, node := range n.nodes {
+		if node.spool != nil {
+			node.spool.Drain(node.capture)
+		}
+	}
+}
+
+// FlushCapturesBefore drains spooled records with timestamps strictly
+// before the current virtual time into the captures. Safe at any instant:
+// an event executing at time t only ever emits records stamped ≥ t, so
+// everything older than "now" is final. Long experiments call this
+// periodically to keep spool memory bounded by the in-flight horizon
+// rather than the run length.
+func (n *Network) FlushCapturesBefore() {
+	cutoff := int64(n.Eng.Now())
+	for _, node := range n.nodes {
+		if node.spool != nil {
+			node.spool.DrainBefore(node.capture, cutoff)
+		}
+	}
+}
+
+// trackerSample returns up to k distinct online nodes other than asker,
+// uniformly at random. Commercial trackers return random subsets; locality
+// bias, where it exists, is applied by the client (its DiscoveryWeight).
+func (n *Network) trackerSample(asker *Node, k int) []*Node {
+	if k <= 0 || len(n.online) == 0 {
+		return nil
+	}
+	rng := n.Eng.Rand()
+	// Partial Fisher-Yates over a copy of indexes would cost O(online);
+	// sample with rejection instead, bounded to a few attempts per slot.
+	out := make([]*Node, 0, k)
+	seen := map[PeerID]bool{asker.ID: true}
+	attempts := 0
+	for len(out) < k && attempts < 8*k {
+		attempts++
+		cand := n.online[rng.Intn(len(n.online))]
+		if seen[cand.ID] {
+			continue
+		}
+		seen[cand.ID] = true
+		out = append(out, cand)
+	}
+	return out
+}
+
+func (n *Network) markOnline(node *Node) {
+	node.onlineIdx = len(n.online)
+	n.online = append(n.online, node)
+}
+
+func (n *Network) markOffline(node *Node) {
+	idx := node.onlineIdx
+	last := len(n.online) - 1
+	n.online[idx] = n.online[last]
+	n.online[idx].onlineIdx = idx
+	n.online = n.online[:last]
+	node.onlineIdx = -1
+}
+
+// NodeByID returns the node with the given id.
+func (n *Network) NodeByID(id PeerID) *Node { return n.nodes[id] }

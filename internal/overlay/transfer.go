@@ -1,0 +1,178 @@
+package overlay
+
+import (
+	"time"
+
+	"napawine/internal/access"
+	"napawine/internal/chunkstream"
+	"napawine/internal/packet"
+	"napawine/internal/units"
+)
+
+// recordAt spools one packet record at a probe-equipped node.
+func recordAt(n *Node, r packet.Record) {
+	if n.spool != nil {
+		n.spool.Add(r)
+	}
+}
+
+// ttlAtReceiver computes the TTL a packet from `from` carries when it
+// reaches `to`: the Windows initial TTL minus the modelled router hops.
+func (net *Network) ttlAtReceiver(from, to *Node) uint8 {
+	hops := net.Topo.HopCount(from.Host, to.Host)
+	if hops >= packet.InitialTTL {
+		return 0
+	}
+	return uint8(packet.InitialTTL - hops)
+}
+
+// sendSignal models a single small control packet from a to b, emitting
+// records at whichever endpoints carry sniffers and accounting ground
+// truth. Control packets ride above the FIFO data queues (they are tiny and
+// real clients interleave them), so only propagation delay applies.
+func (net *Network) sendSignal(a, b *Node, size units.ByteSize) {
+	if !a.online || !b.online {
+		return
+	}
+	net.sendControl(a, b, size, packet.Signaling)
+}
+
+func (net *Network) sendControl(a, b *Node, size units.ByteSize, kind packet.Kind) {
+	now := net.Eng.Now()
+	owd := net.Topo.OneWayDelay(a.Host, b.Host)
+	if net.Cfg.JitterMax > 0 {
+		owd += time.Duration(net.Eng.Rand().Int63n(int64(net.Cfg.JitterMax)))
+	}
+	arrive := now.Add(owd)
+	recordAt(a, packet.Record{
+		TS: now, Src: a.Host.Addr, Dst: b.Host.Addr,
+		Size: size, TTL: packet.InitialTTL, Kind: kind,
+	})
+	recordAt(b, packet.Record{
+		TS: arrive, Src: a.Host.Addr, Dst: b.Host.Addr,
+		Size: size, TTL: net.ttlAtReceiver(a, b), Kind: kind,
+	})
+	if kind == packet.Signaling || kind == packet.Request {
+		net.Ledger.signal(a.ID, b.ID, int64(size))
+	}
+}
+
+// sendRequest carries a chunk request from nd to target and schedules the
+// response at the responder after the one-way delay.
+func (net *Network) sendRequest(nd, target *Node, id chunkstream.ChunkID) {
+	net.sendControl(nd, target, requestSize, packet.Request)
+	owd := net.Topo.OneWayDelay(nd.Host, target.Host)
+	net.Eng.Schedule(owd, func() { target.serveChunk(nd, id) })
+}
+
+// serveChunk is the responder side of the pull protocol. The responder
+// rejects when it no longer holds the chunk (stale advertisement), when its
+// uplink backlog exceeds the busy cap, or when either side went offline.
+func (nd *Node) serveChunk(requester *Node, id chunkstream.ChunkID) {
+	net := nd.net
+	now := net.Eng.Now()
+	if !nd.online || !requester.online {
+		return
+	}
+	if !nd.hasChunk(id, now) {
+		net.sendControl(nd, requester, rejectSize, packet.Signaling)
+		net.Ledger.Rejections[nd.ID]++
+		requester.onReject(nd.ID, id)
+		return
+	}
+	if nd.up.Backlog(now) > net.Cfg.UplinkBusyCap {
+		net.sendControl(nd, requester, rejectSize, packet.Signaling)
+		net.Ledger.Rejections[nd.ID]++
+		requester.onReject(nd.ID, id)
+		return
+	}
+
+	chunkSize := net.Cfg.Calendar.ChunkSize()
+	start, _ := nd.up.Reserve(now, chunkSize)
+	sizes := access.Packetize(chunkSize)
+	owd := net.Topo.OneWayDelay(nd.Host, requester.Host)
+	departs, arrives := access.Train(start, sizes,
+		nd.Link.Spec.Up, requester.Link.Spec.Down,
+		owd, net.Eng.Rand(), net.Cfg.JitterMax)
+
+	// Materialize per-packet records at whichever ends are probes.
+	if nd.spool != nil {
+		for i, sz := range sizes {
+			recordAt(nd, packet.Record{
+				TS: departs[i], Src: nd.Host.Addr, Dst: requester.Host.Addr,
+				Size: sz, TTL: packet.InitialTTL, Kind: packet.Video,
+			})
+		}
+	}
+	if requester.spool != nil {
+		ttl := net.ttlAtReceiver(nd, requester)
+		for i, sz := range sizes {
+			recordAt(requester, packet.Record{
+				TS: arrives[i], Src: nd.Host.Addr, Dst: requester.Host.Addr,
+				Size: sz, TTL: ttl, Kind: packet.Video,
+			})
+		}
+	}
+
+	net.Ledger.video(nd.ID, requester.ID, int64(chunkSize))
+	net.Ledger.ChunksServed[nd.ID]++
+
+	last := arrives[len(arrives)-1]
+	// The receiver estimates the partner's rate from goodput *during*
+	// the burst (first to last packet), the way real clients sample
+	// throughput. Using request-to-completion time instead would fold
+	// the full RTT into the estimate and make nearby peers look faster
+	// than equally provisioned distant ones — a proximity bias none of
+	// the 2008 clients actually had (stop-and-wait is our simplification,
+	// not theirs: they pipelined requests).
+	burst := last.Sub(arrives[0])
+	net.Eng.At(last, func() { requester.onChunkDelivered(nd.ID, id, chunkSize, burst) })
+}
+
+// onReject reacts to a responder declining a request: the pending entry is
+// cleared so the next scheduler tick retries elsewhere, and the partner's
+// standing decays, steering future requests toward less loaded (in
+// practice: higher-capacity) peers.
+func (nd *Node) onReject(from PeerID, id chunkstream.ChunkID) {
+	if !nd.online {
+		return
+	}
+	if req, ok := nd.inflight[id]; ok && req.from == from {
+		delete(nd.inflight, id)
+	}
+	if p, ok := nd.partners[from]; ok {
+		p.failures++
+		p.info.EstRate = p.info.EstRate * 3 / 4
+	}
+}
+
+// onChunkDelivered completes a pull: the chunk enters the buffer map and
+// the partner's delivery-rate estimate absorbs the burst-goodput sample.
+func (nd *Node) onChunkDelivered(from PeerID, id chunkstream.ChunkID, size units.ByteSize, burst time.Duration) {
+	if !nd.online {
+		return
+	}
+	req, ok := nd.inflight[id]
+	if ok && req.from == from {
+		delete(nd.inflight, id)
+	}
+	nd.buf.Set(id)
+	if p, ok := nd.partners[from]; ok {
+		p.failures = 0
+		var sample units.BitRate
+		if burst > 0 {
+			sample = units.RateOf(size, burst)
+		}
+		if sample > 0 {
+			if p.info.EstRate == 0 {
+				p.info.EstRate = sample
+			} else {
+				// EWMA with 0.7 retention: smooth but responsive.
+				p.info.EstRate = (p.info.EstRate*7 + sample*3) / 10
+			}
+			if nd.rateMemory != nil {
+				nd.rateMemory[from] = p.info.EstRate
+			}
+		}
+	}
+}

@@ -1,0 +1,272 @@
+// Package policy defines the peer-selection machinery whose parameters are
+// exactly the "network awareness" the paper measures: how strongly a client
+// weighs bandwidth, AS locality, country, subnet or path length when it
+// decides whom to talk to and whom to pull chunks from.
+//
+// A Weight maps what a real client can know about a candidate — measured
+// throughput, locality facts derivable from the candidate's IP, measured
+// RTT — to a non-negative selection weight. Application profiles
+// (internal/apps) compose weights multiplicatively; the analysis layer then
+// has to rediscover those compositions from traffic alone, which is the
+// whole experiment.
+package policy
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"napawine/internal/units"
+)
+
+// Info is everything a selection decision may legitimately depend on. It
+// deliberately contains only client-observable facts; ground-truth link
+// capacity, for instance, appears solely through the measured EstRate.
+type Info struct {
+	SameSubnet bool
+	SameAS     bool
+	SameCC     bool
+	RTT        time.Duration
+	// EstRate is the client's own estimate of the candidate's delivery
+	// rate (EWMA of past chunk transfers); zero when never measured.
+	EstRate units.BitRate
+}
+
+// Weight scores a candidate. Implementations must be pure: the same Info
+// always yields the same weight, so selection randomness lives entirely in
+// the sampler's RNG.
+type Weight interface {
+	Weight(Info) float64
+	Name() string
+}
+
+// Uniform ignores the candidate entirely: pure random selection, the
+// baseline against which awareness is defined.
+type Uniform struct{}
+
+// Weight returns 1 for every candidate.
+func (Uniform) Weight(Info) float64 { return 1 }
+
+// Name identifies the policy.
+func (Uniform) Name() string { return "uniform" }
+
+// BandwidthBias favors candidates whose measured delivery rate is high:
+// weight = (rate/Ref)^Alpha, with unmeasured candidates charged Floor so
+// that newcomers still get probed, and rates clamped at Cap — beyond a few
+// dozen Mbit/s a partner cannot deliver chunks any faster in practice, so
+// an uncapped estimate would make LAN neighbours pathologically dominant.
+// This is the mechanism behind the strong BW rows of Table IV.
+type BandwidthBias struct {
+	Ref   units.BitRate // normalization, typically the stream rate
+	Alpha float64       // bias strength; 0 degenerates to uniform
+	Floor units.BitRate // optimistic rate assumed for unmeasured peers
+	Cap   units.BitRate // rate ceiling (0 = uncapped)
+}
+
+// Weight implements Weight.
+func (b BandwidthBias) Weight(i Info) float64 {
+	ref := b.Ref
+	if ref <= 0 {
+		ref = 384 * units.Kbps
+	}
+	r := i.EstRate
+	if r <= 0 {
+		r = b.Floor
+	}
+	if r <= 0 {
+		return 0
+	}
+	if b.Cap > 0 && r > b.Cap {
+		r = b.Cap
+	}
+	return math.Pow(float64(r)/float64(ref), b.Alpha)
+}
+
+// Name identifies the policy.
+func (b BandwidthBias) Name() string { return fmt.Sprintf("bw^%.1f", b.Alpha) }
+
+// ASBias multiplies the weight by Factor for candidates in the caller's AS.
+// Factor > 1 is the knob that produces TVAnts- and PPLive-style AS
+// preference; Factor == 1 is SopCast-style location blindness.
+type ASBias struct{ Factor float64 }
+
+// Weight implements Weight.
+func (b ASBias) Weight(i Info) float64 {
+	if i.SameAS {
+		return b.Factor
+	}
+	return 1
+}
+
+// Name identifies the policy.
+func (b ASBias) Name() string { return fmt.Sprintf("as×%.1f", b.Factor) }
+
+// CCBias multiplies the weight by Factor for same-country candidates.
+// No 2008-era client used it (the paper finds CC preference is entirely an
+// AS echo); it exists for ablation experiments.
+type CCBias struct{ Factor float64 }
+
+// Weight implements Weight.
+func (b CCBias) Weight(i Info) float64 {
+	if i.SameCC {
+		return b.Factor
+	}
+	return 1
+}
+
+// Name identifies the policy.
+func (b CCBias) Name() string { return fmt.Sprintf("cc×%.1f", b.Factor) }
+
+// SubnetBias multiplies the weight by Factor for same-subnet candidates.
+type SubnetBias struct{ Factor float64 }
+
+// Weight implements Weight.
+func (b SubnetBias) Weight(i Info) float64 {
+	if i.SameSubnet {
+		return b.Factor
+	}
+	return 1
+}
+
+// Name identifies the policy.
+func (b SubnetBias) Name() string { return fmt.Sprintf("net×%.1f", b.Factor) }
+
+// RTTBias favors nearby candidates: weight = Factor when RTT < Near,
+// else 1. It is the "seek shorter paths" behaviour the paper's conclusion
+// recommends and finds absent; included for the future-work ablation.
+type RTTBias struct {
+	Near   time.Duration
+	Factor float64
+}
+
+// Weight implements Weight.
+func (b RTTBias) Weight(i Info) float64 {
+	if i.RTT > 0 && i.RTT < b.Near {
+		return b.Factor
+	}
+	return 1
+}
+
+// Name identifies the policy.
+func (b RTTBias) Name() string { return fmt.Sprintf("rtt<%v×%.1f", b.Near, b.Factor) }
+
+// Product composes weights multiplicatively.
+type Product []Weight
+
+// Weight implements Weight as the product of the factors.
+func (p Product) Weight(i Info) float64 {
+	w := 1.0
+	for _, f := range p {
+		w *= f.Weight(i)
+		if w == 0 {
+			return 0
+		}
+	}
+	return w
+}
+
+// Name identifies the composition.
+func (p Product) Name() string {
+	if len(p) == 0 {
+		return "uniform"
+	}
+	s := p[0].Name()
+	for _, f := range p[1:] {
+		s += "·" + f.Name()
+	}
+	return s
+}
+
+// Candidate pairs an opaque caller index with the selectable facts.
+type Candidate struct {
+	Index int
+	Info  Info
+}
+
+// Sample draws up to k distinct candidates with probability proportional to
+// their weights, using the Efraimidis–Spirakis exponential-key method. Zero
+// or negative-weight candidates are never selected. The result preserves
+// selection order (strongest keys first).
+func Sample(rng *rand.Rand, cands []Candidate, k int, w Weight) []Candidate {
+	if k <= 0 || len(cands) == 0 {
+		return nil
+	}
+	type keyed struct {
+		c   Candidate
+		key float64
+	}
+	keys := make([]keyed, 0, len(cands))
+	for _, c := range cands {
+		wt := w.Weight(c.Info)
+		if wt <= 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
+			continue
+		}
+		u := rng.Float64()
+		for u == 0 {
+			u = rng.Float64()
+		}
+		// key = u^(1/w): larger is better; equivalent to -ln(u)/w ascending.
+		keys = append(keys, keyed{c: c, key: math.Pow(u, 1/wt)})
+	}
+	sort.Slice(keys, func(i, j int) bool {
+		if keys[i].key != keys[j].key {
+			return keys[i].key > keys[j].key
+		}
+		return keys[i].c.Index < keys[j].c.Index // deterministic tie-break
+	})
+	if k > len(keys) {
+		k = len(keys)
+	}
+	out := make([]Candidate, k)
+	for i := 0; i < k; i++ {
+		out[i] = keys[i].c
+	}
+	return out
+}
+
+// PickOne draws a single candidate with probability proportional to weight,
+// the hot path of per-chunk scheduling. Returns index -1 when nothing is
+// selectable.
+func PickOne(rng *rand.Rand, cands []Candidate, w Weight) Candidate {
+	total := 0.0
+	weights := make([]float64, len(cands))
+	for i, c := range cands {
+		wt := w.Weight(c.Info)
+		if wt < 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
+			wt = 0
+		}
+		weights[i] = wt
+		total += wt
+	}
+	if total <= 0 {
+		return Candidate{Index: -1}
+	}
+	x := rng.Float64() * total
+	for i, wt := range weights {
+		x -= wt
+		if x < 0 {
+			return cands[i]
+		}
+	}
+	return cands[len(cands)-1]
+}
+
+// Worst returns the candidate with the lowest weight (ties broken by lower
+// index), or index -1 for an empty slate. Used by partner-churn logic that
+// periodically drops its least useful partner.
+func Worst(cands []Candidate, w Weight) Candidate {
+	if len(cands) == 0 {
+		return Candidate{Index: -1}
+	}
+	best := 0
+	bestW := math.Inf(1)
+	for i, c := range cands {
+		wt := w.Weight(c.Info)
+		if wt < bestW || (wt == bestW && c.Index < cands[best].Index) {
+			best, bestW = i, wt
+		}
+	}
+	return cands[best]
+}

@@ -1,0 +1,74 @@
+// Package runner executes independent experiments in parallel. Each
+// simulation engine is strictly single-threaded for determinism, so all
+// parallelism in this project lives here: one goroutine per worker, one
+// experiment per task, results delivered in input order regardless of
+// completion order.
+package runner
+
+import (
+	"fmt"
+	"runtime"
+	"sync"
+)
+
+// Parallel maps f over inputs using at most workers goroutines and returns
+// the outputs in input order. The first error (by input order) is returned
+// alongside the partial results; failed slots hold the zero value. A panic
+// inside f is captured and converted to an error rather than tearing down
+// the whole sweep.
+func Parallel[I any, O any](inputs []I, workers int, f func(I) (O, error)) ([]O, error) {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	if workers > len(inputs) {
+		workers = len(inputs)
+	}
+	out := make([]O, len(inputs))
+	errs := make([]error, len(inputs))
+	if len(inputs) == 0 {
+		return out, nil
+	}
+
+	var wg sync.WaitGroup
+	next := make(chan int)
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := range next {
+				out[i], errs[i] = runOne(inputs[i], f)
+			}
+		}()
+	}
+	for i := range inputs {
+		next <- i
+	}
+	close(next)
+	wg.Wait()
+
+	for i, err := range errs {
+		if err != nil {
+			return out, fmt.Errorf("runner: input %d: %w", i, err)
+		}
+	}
+	return out, nil
+}
+
+func runOne[I any, O any](in I, f func(I) (O, error)) (out O, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			err = fmt.Errorf("panic: %v", r)
+		}
+	}()
+	return f(in)
+}
+
+// Seeds builds n sequential seeds starting at base — the conventional
+// input for multi-trial sweeps.
+func Seeds(base int64, n int) []int64 {
+	out := make([]int64, n)
+	for i := range out {
+		out[i] = base + int64(i)
+	}
+	return out
+}

@@ -1,0 +1,113 @@
+package runner
+
+import (
+	"errors"
+	"strings"
+	"sync/atomic"
+	"testing"
+	"time"
+)
+
+func TestParallelOrderPreserved(t *testing.T) {
+	in := make([]int, 50)
+	for i := range in {
+		in[i] = i
+	}
+	out, err := Parallel(in, 8, func(x int) (int, error) {
+		// Reverse completion order: later inputs finish first.
+		time.Sleep(time.Duration(50-x) * 100 * time.Microsecond)
+		return x * x, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != i*i {
+			t.Fatalf("out[%d] = %d, want %d", i, v, i*i)
+		}
+	}
+}
+
+func TestParallelConcurrencyBound(t *testing.T) {
+	var active, peak int64
+	in := make([]int, 40)
+	_, err := Parallel(in, 4, func(int) (int, error) {
+		n := atomic.AddInt64(&active, 1)
+		for {
+			p := atomic.LoadInt64(&peak)
+			if n <= p || atomic.CompareAndSwapInt64(&peak, p, n) {
+				break
+			}
+		}
+		time.Sleep(time.Millisecond)
+		atomic.AddInt64(&active, -1)
+		return 0, nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if peak > 4 {
+		t.Errorf("peak concurrency %d exceeds worker bound 4", peak)
+	}
+}
+
+func TestParallelError(t *testing.T) {
+	in := []int{0, 1, 2, 3}
+	boom := errors.New("boom")
+	out, err := Parallel(in, 2, func(x int) (int, error) {
+		if x == 2 {
+			return 0, boom
+		}
+		return x + 10, nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v, want wrapped boom", err)
+	}
+	if !strings.Contains(err.Error(), "input 2") {
+		t.Errorf("error should name the failing input: %v", err)
+	}
+	// Successful slots still populated.
+	if out[0] != 10 || out[1] != 11 || out[3] != 13 {
+		t.Errorf("partial results lost: %v", out)
+	}
+}
+
+func TestParallelPanicCaptured(t *testing.T) {
+	in := []int{1}
+	_, err := Parallel(in, 1, func(int) (int, error) {
+		panic("kaboom")
+	})
+	if err == nil || !strings.Contains(err.Error(), "kaboom") {
+		t.Errorf("panic not converted to error: %v", err)
+	}
+}
+
+func TestParallelEmptyAndDefaults(t *testing.T) {
+	out, err := Parallel(nil, 0, func(int) (int, error) { return 1, nil })
+	if err != nil || len(out) != 0 {
+		t.Error("empty input should be a no-op")
+	}
+	// workers <= 0 defaults to GOMAXPROCS; workers > len clamps.
+	out, err = Parallel([]int{5}, -3, func(x int) (int, error) { return x, nil })
+	if err != nil || out[0] != 5 {
+		t.Error("default workers failed")
+	}
+}
+
+func TestSeeds(t *testing.T) {
+	s := Seeds(100, 3)
+	if len(s) != 3 || s[0] != 100 || s[2] != 102 {
+		t.Errorf("Seeds = %v", s)
+	}
+	if len(Seeds(1, 0)) != 0 {
+		t.Error("zero seeds should be empty")
+	}
+}
+
+func BenchmarkParallelOverhead(b *testing.B) {
+	in := make([]int, 64)
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		_, _ = Parallel(in, 8, func(x int) (int, error) { return x, nil })
+	}
+}

@@ -1,0 +1,218 @@
+// Package sim implements the deterministic discrete-event engine underneath
+// every emulated swarm.
+//
+// The engine is single-goroutine by design: determinism is a hard
+// requirement (the same seed must regenerate the same paper table
+// byte-for-byte), so parallelism belongs one level up, across independent
+// experiments (see internal/runner), never inside one engine. Events
+// scheduled for the same instant fire in scheduling order, which makes the
+// tie-break rule explicit instead of accidental.
+package sim
+
+import (
+	"container/heap"
+	"fmt"
+	"math/rand"
+	"time"
+)
+
+// Time is a virtual instant, measured as an offset from the start of the
+// experiment. It is a distinct type so that wall-clock time.Time values
+// cannot leak into the simulation by accident.
+type Time time.Duration
+
+// String renders the instant in ordinary duration notation.
+func (t Time) String() string { return time.Duration(t).String() }
+
+// Seconds reports the instant in seconds, the unit used for rate
+// computations in the analysis layer.
+func (t Time) Seconds() float64 { return time.Duration(t).Seconds() }
+
+// Add offsets the instant by d.
+func (t Time) Add(d time.Duration) Time { return t + Time(d) }
+
+// Sub reports the duration elapsed between u and t.
+func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
+
+type event struct {
+	at  Time
+	seq uint64
+	fn  func()
+}
+
+type eventHeap []*event
+
+func (h eventHeap) Len() int { return len(h) }
+func (h eventHeap) Less(i, j int) bool {
+	if h[i].at != h[j].at {
+		return h[i].at < h[j].at
+	}
+	return h[i].seq < h[j].seq
+}
+func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
+func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
+func (h *eventHeap) Pop() interface{} {
+	old := *h
+	n := len(old)
+	ev := old[n-1]
+	old[n-1] = nil
+	*h = old[:n-1]
+	return ev
+}
+
+// Engine is a discrete-event scheduler with a virtual clock and its own
+// seeded random source. The zero value is not usable; construct with New.
+type Engine struct {
+	now     Time
+	seq     uint64
+	events  eventHeap
+	rng     *rand.Rand
+	stopped bool
+	// processed counts executed events; exposed for tests and for the
+	// benchmark harness to report event throughput.
+	processed uint64
+}
+
+// New returns an engine whose random source is seeded with seed. Two engines
+// built with the same seed and fed the same schedule behave identically.
+func New(seed int64) *Engine {
+	return &Engine{rng: rand.New(rand.NewSource(seed))}
+}
+
+// Now reports the current virtual time.
+func (e *Engine) Now() Time { return e.now }
+
+// Rand exposes the engine's deterministic random source. All randomness in
+// a simulation must flow through this source; using any other source breaks
+// reproducibility.
+func (e *Engine) Rand() *rand.Rand { return e.rng }
+
+// Processed reports how many events have executed so far.
+func (e *Engine) Processed() uint64 { return e.processed }
+
+// Pending reports how many events are waiting in the queue.
+func (e *Engine) Pending() int { return len(e.events) }
+
+// Schedule runs fn after delay of virtual time. A negative delay is a
+// programming error and panics: allowing it would silently reorder the past.
+func (e *Engine) Schedule(delay time.Duration, fn func()) {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	e.At(e.now.Add(delay), fn)
+}
+
+// At runs fn at the absolute virtual instant t, which must not precede the
+// current clock.
+func (e *Engine) At(t Time, fn func()) {
+	if t < e.now {
+		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, e.now))
+	}
+	e.seq++
+	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+}
+
+// Timer is a cancellable scheduled callback.
+type Timer struct {
+	ev        *event
+	cancelled bool
+}
+
+// Cancel prevents the timer's callback from running. Cancelling an already
+// fired or already cancelled timer is a no-op, so callers need no bookkeeping.
+func (t *Timer) Cancel() {
+	if t == nil {
+		return
+	}
+	t.cancelled = true
+}
+
+// After schedules fn like Schedule but returns a Timer handle that can
+// cancel it. Cancellation is lazy: the event stays queued and is skipped when
+// popped, which keeps the heap free of random deletions.
+func (e *Engine) After(delay time.Duration, fn func()) *Timer {
+	if delay < 0 {
+		panic(fmt.Sprintf("sim: negative delay %v", delay))
+	}
+	t := &Timer{}
+	e.seq++
+	ev := &event{at: e.now.Add(delay), seq: e.seq}
+	ev.fn = func() {
+		if !t.cancelled {
+			fn()
+		}
+	}
+	t.ev = ev
+	heap.Push(&e.events, ev)
+	return t
+}
+
+// Every schedules fn to run now+first, then repeatedly every interval, with
+// a uniform jitter in [0, jitter) resampled on each firing. It returns a
+// cancel function. Jittered periodic events are how the overlay models
+// keep-alives and buffer-map exchanges without phase-locking every peer.
+func (e *Engine) Every(first, interval, jitter time.Duration, fn func()) (cancel func()) {
+	if interval <= 0 {
+		panic(fmt.Sprintf("sim: non-positive interval %v", interval))
+	}
+	stopped := false
+	var tick func()
+	tick = func() {
+		if stopped {
+			return
+		}
+		fn()
+		if stopped { // fn may cancel itself
+			return
+		}
+		next := interval
+		if jitter > 0 {
+			next += time.Duration(e.rng.Int63n(int64(jitter)))
+		}
+		e.Schedule(next, tick)
+	}
+	e.Schedule(first, tick)
+	return func() { stopped = true }
+}
+
+// Step executes the single earliest pending event and reports whether one
+// existed. The clock jumps to the event's instant.
+func (e *Engine) Step() bool {
+	for len(e.events) > 0 {
+		ev := heap.Pop(&e.events).(*event)
+		e.now = ev.at
+		e.processed++
+		ev.fn()
+		return true
+	}
+	return false
+}
+
+// Run executes events until the clock would pass horizon or the queue
+// drains or Stop is called. On return the clock rests at min(horizon, last
+// event time); events scheduled beyond the horizon stay queued.
+func (e *Engine) Run(horizon time.Duration) {
+	e.stopped = false
+	end := Time(horizon)
+	for len(e.events) > 0 && !e.stopped {
+		if e.events[0].at > end {
+			break
+		}
+		e.Step()
+	}
+	if e.now < end && !e.stopped {
+		e.now = end
+	}
+}
+
+// RunUntilIdle executes every queued event regardless of time. Useful in
+// tests; real experiments use Run with a horizon.
+func (e *Engine) RunUntilIdle() {
+	e.stopped = false
+	for !e.stopped && e.Step() {
+	}
+}
+
+// Stop makes the current Run/RunUntilIdle return after the executing event
+// completes. The queue is preserved, so a run can be resumed.
+func (e *Engine) Stop() { e.stopped = true }

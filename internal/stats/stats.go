@@ -1,0 +1,331 @@
+// Package stats provides the small statistical toolkit the analysis layer
+// needs: streaming accumulators, exact quantiles over retained samples,
+// fixed-width histograms and labelled square matrices (for the Figure-2
+// AS-to-AS traffic matrix).
+//
+// Everything is deterministic and allocation-conscious; nothing here is a
+// general statistics library, just the exact operations the paper's tables
+// require, implemented carefully.
+package stats
+
+import (
+	"fmt"
+	"math"
+	"sort"
+)
+
+// Accumulator tracks count, sum, min, max and mean of a stream of values in
+// O(1) space. The zero value is ready to use.
+type Accumulator struct {
+	n        int64
+	sum      float64
+	min, max float64
+}
+
+// Add folds v into the accumulator.
+func (a *Accumulator) Add(v float64) {
+	if a.n == 0 {
+		a.min, a.max = v, v
+	} else {
+		if v < a.min {
+			a.min = v
+		}
+		if v > a.max {
+			a.max = v
+		}
+	}
+	a.n++
+	a.sum += v
+}
+
+// N reports the number of values seen.
+func (a *Accumulator) N() int64 { return a.n }
+
+// Sum reports the running sum.
+func (a *Accumulator) Sum() float64 { return a.sum }
+
+// Mean reports the arithmetic mean, or 0 for an empty accumulator.
+func (a *Accumulator) Mean() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.sum / float64(a.n)
+}
+
+// Min reports the smallest value seen, or 0 for an empty accumulator.
+func (a *Accumulator) Min() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.min
+}
+
+// Max reports the largest value seen, or 0 for an empty accumulator.
+func (a *Accumulator) Max() float64 {
+	if a.n == 0 {
+		return 0
+	}
+	return a.max
+}
+
+// Merge folds another accumulator into a. Merging is associative and
+// commutative, which is what lets the parallel runner aggregate per-worker
+// partial results in any completion order.
+func (a *Accumulator) Merge(b Accumulator) {
+	if b.n == 0 {
+		return
+	}
+	if a.n == 0 {
+		*a = b
+		return
+	}
+	if b.min < a.min {
+		a.min = b.min
+	}
+	if b.max > a.max {
+		a.max = b.max
+	}
+	a.n += b.n
+	a.sum += b.sum
+}
+
+// Sample retains every value for exact quantile queries. For the trace
+// volumes this project handles (≤ millions of per-peer aggregates) exact
+// retention is cheaper than the complexity of a sketch.
+type Sample struct {
+	xs     []float64
+	sorted bool
+}
+
+// Add appends a value.
+func (s *Sample) Add(v float64) {
+	s.xs = append(s.xs, v)
+	s.sorted = false
+}
+
+// N reports the number of retained values.
+func (s *Sample) N() int { return len(s.xs) }
+
+func (s *Sample) ensureSorted() {
+	if !s.sorted {
+		sort.Float64s(s.xs)
+		s.sorted = true
+	}
+}
+
+// Quantile reports the q-quantile (0 ≤ q ≤ 1) using the nearest-rank method
+// on the sorted sample. An empty sample yields 0.
+func (s *Sample) Quantile(q float64) float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	if q < 0 {
+		q = 0
+	}
+	if q > 1 {
+		q = 1
+	}
+	s.ensureSorted()
+	idx := int(math.Ceil(q*float64(len(s.xs)))) - 1
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(s.xs) {
+		idx = len(s.xs) - 1
+	}
+	return s.xs[idx]
+}
+
+// Median reports the 0.5-quantile. The paper uses the hop-count median as
+// the HOP partition threshold (§III-B).
+func (s *Sample) Median() float64 { return s.Quantile(0.5) }
+
+// Mean reports the arithmetic mean, or 0 for an empty sample.
+func (s *Sample) Mean() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, v := range s.xs {
+		sum += v
+	}
+	return sum / float64(len(s.xs))
+}
+
+// Max reports the largest value, or 0 for an empty sample.
+func (s *Sample) Max() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[len(s.xs)-1]
+}
+
+// Min reports the smallest value, or 0 for an empty sample.
+func (s *Sample) Min() float64 {
+	if len(s.xs) == 0 {
+		return 0
+	}
+	s.ensureSorted()
+	return s.xs[0]
+}
+
+// Values returns a copy of the retained values in insertion-independent
+// (sorted) order.
+func (s *Sample) Values() []float64 {
+	s.ensureSorted()
+	out := make([]float64, len(s.xs))
+	copy(out, s.xs)
+	return out
+}
+
+// Histogram counts values into fixed-width buckets starting at origin.
+// Values below origin land in bucket 0; values beyond the last bucket land
+// in the overflow (last) bucket.
+type Histogram struct {
+	origin  float64
+	width   float64
+	buckets []int64
+	total   int64
+}
+
+// NewHistogram builds a histogram with n buckets of the given width
+// starting at origin. It panics on a non-positive width or bucket count,
+// since a silent empty histogram would corrupt downstream percentages.
+func NewHistogram(origin, width float64, n int) *Histogram {
+	if width <= 0 || n <= 0 {
+		panic(fmt.Sprintf("stats: bad histogram shape width=%v n=%d", width, n))
+	}
+	return &Histogram{origin: origin, width: width, buckets: make([]int64, n)}
+}
+
+// Add counts one observation of v.
+func (h *Histogram) Add(v float64) {
+	idx := int(math.Floor((v - h.origin) / h.width))
+	if idx < 0 {
+		idx = 0
+	}
+	if idx >= len(h.buckets) {
+		idx = len(h.buckets) - 1
+	}
+	h.buckets[idx]++
+	h.total++
+}
+
+// Count reports the tally of bucket i.
+func (h *Histogram) Count(i int) int64 { return h.buckets[i] }
+
+// Total reports the number of observations.
+func (h *Histogram) Total() int64 { return h.total }
+
+// Share reports bucket i's fraction of all observations (0 for an empty
+// histogram).
+func (h *Histogram) Share(i int) float64 {
+	if h.total == 0 {
+		return 0
+	}
+	return float64(h.buckets[i]) / float64(h.total)
+}
+
+// Buckets reports the number of buckets.
+func (h *Histogram) Buckets() int { return len(h.buckets) }
+
+// Matrix is a labelled square matrix of float64 accumulators, used for the
+// Figure-2 per-AS-pair traffic averages.
+type Matrix struct {
+	labels []string
+	index  map[string]int
+	sum    []float64
+	count  []int64
+}
+
+// NewMatrix builds an n×n matrix over the given labels. Duplicate labels
+// panic because they would silently merge distinct ASes.
+func NewMatrix(labels []string) *Matrix {
+	m := &Matrix{
+		labels: append([]string(nil), labels...),
+		index:  make(map[string]int, len(labels)),
+		sum:    make([]float64, len(labels)*len(labels)),
+		count:  make([]int64, len(labels)*len(labels)),
+	}
+	for i, l := range labels {
+		if _, dup := m.index[l]; dup {
+			panic(fmt.Sprintf("stats: duplicate matrix label %q", l))
+		}
+		m.index[l] = i
+	}
+	return m
+}
+
+// Labels reports the row/column labels in order.
+func (m *Matrix) Labels() []string { return append([]string(nil), m.labels...) }
+
+// Add accumulates v into cell (from, to). Unknown labels panic: an AS that
+// was never declared is a bug in the caller's world construction.
+func (m *Matrix) Add(from, to string, v float64) {
+	i, ok := m.index[from]
+	if !ok {
+		panic(fmt.Sprintf("stats: unknown matrix label %q", from))
+	}
+	j, ok := m.index[to]
+	if !ok {
+		panic(fmt.Sprintf("stats: unknown matrix label %q", to))
+	}
+	m.sum[i*len(m.labels)+j] += v
+	m.count[i*len(m.labels)+j]++
+}
+
+// At reports the accumulated sum of cell (from, to).
+func (m *Matrix) At(from, to string) float64 {
+	return m.sum[m.index[from]*len(m.labels)+m.index[to]]
+}
+
+// CellMean reports the mean of observations in cell (from, to), 0 if none.
+func (m *Matrix) CellMean(from, to string) float64 {
+	idx := m.index[from]*len(m.labels) + m.index[to]
+	if m.count[idx] == 0 {
+		return 0
+	}
+	return m.sum[idx] / float64(m.count[idx])
+}
+
+// IntraInterRatio reports R, the paper's Figure-2 statistic: the mean of the
+// diagonal cell sums divided by the mean of the off-diagonal cell sums.
+// It returns (ratio, ok); ok is false when the off-diagonal mean is zero,
+// in which case no meaningful ratio exists (e.g. a single-AS world).
+func (m *Matrix) IntraInterRatio() (float64, bool) {
+	n := len(m.labels)
+	if n == 0 {
+		return 0, false
+	}
+	var intra, inter float64
+	var nIntra, nInter int
+	for i := 0; i < n; i++ {
+		for j := 0; j < n; j++ {
+			v := m.sum[i*n+j]
+			if i == j {
+				intra += v
+				nIntra++
+			} else {
+				inter += v
+				nInter++
+			}
+		}
+	}
+	if nInter == 0 || inter == 0 {
+		return 0, false
+	}
+	meanIntra := intra / float64(nIntra)
+	meanInter := inter / float64(nInter)
+	return meanIntra / meanInter, true
+}
+
+// Percent renders part/whole as a percentage, 0 when whole is 0. It exists
+// because every table in the paper is expressed in percentages and the
+// zero-denominator convention must be uniform.
+func Percent(part, whole float64) float64 {
+	if whole == 0 {
+		return 0
+	}
+	return 100 * part / whole
+}

@@ -1,0 +1,333 @@
+package stats
+
+import (
+	"math"
+	"math/rand"
+	"sort"
+	"testing"
+	"testing/quick"
+)
+
+func TestAccumulatorBasics(t *testing.T) {
+	var a Accumulator
+	if a.N() != 0 || a.Mean() != 0 || a.Min() != 0 || a.Max() != 0 {
+		t.Error("zero accumulator should report zeros")
+	}
+	for _, v := range []float64{3, -1, 4, 1.5} {
+		a.Add(v)
+	}
+	if a.N() != 4 {
+		t.Errorf("N = %d", a.N())
+	}
+	if a.Min() != -1 || a.Max() != 4 {
+		t.Errorf("min/max = %v/%v", a.Min(), a.Max())
+	}
+	if got := a.Mean(); math.Abs(got-1.875) > 1e-12 {
+		t.Errorf("mean = %v", got)
+	}
+	if got := a.Sum(); math.Abs(got-7.5) > 1e-12 {
+		t.Errorf("sum = %v", got)
+	}
+}
+
+func TestAccumulatorMergeEmpty(t *testing.T) {
+	var a, b Accumulator
+	a.Add(5)
+	a.Merge(b) // merging empty is a no-op
+	if a.N() != 1 || a.Mean() != 5 {
+		t.Error("merge with empty changed accumulator")
+	}
+	b.Merge(a) // merging into empty copies
+	if b.N() != 1 || b.Mean() != 5 {
+		t.Error("merge into empty did not copy")
+	}
+}
+
+// Property: merging split streams equals accumulating the whole stream.
+func TestAccumulatorMergeAssociativityProperty(t *testing.T) {
+	f := func(xs []float64, split uint8) bool {
+		for _, x := range xs {
+			// Skip pathological floats: the accumulator carries sums of
+			// byte counts and rates, which live far below 1e15.
+			if math.IsNaN(x) || math.IsInf(x, 0) || math.Abs(x) > 1e15 {
+				return true
+			}
+		}
+		var whole Accumulator
+		for _, x := range xs {
+			whole.Add(x)
+		}
+		k := 0
+		if len(xs) > 0 {
+			k = int(split) % (len(xs) + 1)
+		}
+		var left, right Accumulator
+		for _, x := range xs[:k] {
+			left.Add(x)
+		}
+		for _, x := range xs[k:] {
+			right.Add(x)
+		}
+		left.Merge(right)
+		if left.N() != whole.N() {
+			return false
+		}
+		if whole.N() == 0 {
+			return true
+		}
+		return left.Min() == whole.Min() && left.Max() == whole.Max() &&
+			math.Abs(left.Sum()-whole.Sum()) < 1e-9*(1+math.Abs(whole.Sum()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 500}); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestSampleQuantiles(t *testing.T) {
+	var s Sample
+	if s.Median() != 0 || s.Max() != 0 || s.Min() != 0 || s.Mean() != 0 {
+		t.Error("empty sample should report zeros")
+	}
+	for _, v := range []float64{9, 1, 8, 2, 7, 3, 6, 4, 5} {
+		s.Add(v)
+	}
+	if got := s.Median(); got != 5 {
+		t.Errorf("median = %v, want 5", got)
+	}
+	if got := s.Quantile(0); got != 1 {
+		t.Errorf("q0 = %v, want 1", got)
+	}
+	if got := s.Quantile(1); got != 9 {
+		t.Errorf("q1 = %v, want 9", got)
+	}
+	if got := s.Quantile(-0.5); got != 1 {
+		t.Errorf("clamped q = %v, want 1", got)
+	}
+	if got := s.Quantile(1.5); got != 9 {
+		t.Errorf("clamped q = %v, want 9", got)
+	}
+	if got := s.Mean(); got != 5 {
+		t.Errorf("mean = %v, want 5", got)
+	}
+	if s.N() != 9 {
+		t.Errorf("N = %d", s.N())
+	}
+}
+
+func TestSampleMedianEven(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{1, 2, 3, 4} {
+		s.Add(v)
+	}
+	// Nearest-rank: ceil(0.5*4) = 2nd smallest.
+	if got := s.Median(); got != 2 {
+		t.Errorf("median = %v, want 2 (nearest rank)", got)
+	}
+}
+
+// Property: quantile is monotone in q and brackets min/max.
+func TestQuantileMonotoneProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	for trial := 0; trial < 100; trial++ {
+		var s Sample
+		n := 1 + rng.Intn(200)
+		for i := 0; i < n; i++ {
+			s.Add(rng.NormFloat64() * 100)
+		}
+		prev := math.Inf(-1)
+		for q := 0.0; q <= 1.0; q += 0.05 {
+			v := s.Quantile(q)
+			if v < prev {
+				t.Fatalf("quantile not monotone at q=%v: %v < %v", q, v, prev)
+			}
+			if v < s.Min() || v > s.Max() {
+				t.Fatalf("quantile %v outside [min,max]", v)
+			}
+			prev = v
+		}
+	}
+}
+
+func TestSampleValuesSortedCopy(t *testing.T) {
+	var s Sample
+	for _, v := range []float64{3, 1, 2} {
+		s.Add(v)
+	}
+	vals := s.Values()
+	if !sort.Float64sAreSorted(vals) {
+		t.Error("Values not sorted")
+	}
+	vals[0] = 99 // mutating the copy must not affect the sample
+	if s.Min() == 99 {
+		t.Error("Values returned internal storage")
+	}
+}
+
+func TestSampleInterleavedAddQuery(t *testing.T) {
+	var s Sample
+	s.Add(5)
+	if s.Median() != 5 {
+		t.Error("median after one add")
+	}
+	s.Add(1) // add after a sorted query must re-sort
+	s.Add(9)
+	if got := s.Median(); got != 5 {
+		t.Errorf("median = %v, want 5", got)
+	}
+}
+
+func TestHistogram(t *testing.T) {
+	h := NewHistogram(0, 10, 5)
+	for _, v := range []float64{-5, 0, 9.99, 10, 25, 49, 50, 1e9} {
+		h.Add(v)
+	}
+	if h.Total() != 8 {
+		t.Errorf("total = %d", h.Total())
+	}
+	if h.Count(0) != 3 { // -5 (clamped), 0, 9.99
+		t.Errorf("bucket0 = %d, want 3", h.Count(0))
+	}
+	if h.Count(1) != 1 { // 10
+		t.Errorf("bucket1 = %d, want 1", h.Count(1))
+	}
+	if h.Count(2) != 1 { // 25
+		t.Errorf("bucket2 = %d, want 1", h.Count(2))
+	}
+	if h.Count(4) != 3 { // 49, 50 (overflow), 1e9 (overflow)
+		t.Errorf("bucket4 = %d, want 3", h.Count(4))
+	}
+	if got := h.Share(0); math.Abs(got-3.0/8) > 1e-12 {
+		t.Errorf("share0 = %v", got)
+	}
+	if h.Buckets() != 5 {
+		t.Errorf("buckets = %d", h.Buckets())
+	}
+}
+
+func TestHistogramBadShapePanics(t *testing.T) {
+	for _, fn := range []func(){
+		func() { NewHistogram(0, 0, 5) },
+		func() { NewHistogram(0, -1, 5) },
+		func() { NewHistogram(0, 1, 0) },
+	} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Error("expected panic")
+				}
+			}()
+			fn()
+		}()
+	}
+}
+
+func TestHistogramEmptyShare(t *testing.T) {
+	h := NewHistogram(0, 1, 3)
+	if h.Share(0) != 0 {
+		t.Error("empty histogram share should be 0")
+	}
+}
+
+func TestMatrixBasics(t *testing.T) {
+	m := NewMatrix([]string{"AS1", "AS2", "AS3"})
+	m.Add("AS1", "AS1", 10)
+	m.Add("AS1", "AS2", 2)
+	m.Add("AS2", "AS1", 4)
+	m.Add("AS1", "AS2", 6)
+	if got := m.At("AS1", "AS2"); got != 8 {
+		t.Errorf("At = %v, want 8", got)
+	}
+	if got := m.CellMean("AS1", "AS2"); got != 4 {
+		t.Errorf("CellMean = %v, want 4", got)
+	}
+	if got := m.CellMean("AS3", "AS3"); got != 0 {
+		t.Errorf("empty CellMean = %v, want 0", got)
+	}
+	labels := m.Labels()
+	labels[0] = "mutated"
+	if m.Labels()[0] != "AS1" {
+		t.Error("Labels returned internal storage")
+	}
+}
+
+func TestMatrixIntraInterRatio(t *testing.T) {
+	m := NewMatrix([]string{"a", "b"})
+	// diagonal mean = (10+2)/2 = 6; off-diag mean = (4+2)/2 = 3 → R = 2.
+	m.Add("a", "a", 10)
+	m.Add("b", "b", 2)
+	m.Add("a", "b", 4)
+	m.Add("b", "a", 2)
+	r, ok := m.IntraInterRatio()
+	if !ok {
+		t.Fatal("ratio should exist")
+	}
+	if math.Abs(r-2) > 1e-12 {
+		t.Errorf("R = %v, want 2", r)
+	}
+}
+
+func TestMatrixRatioDegenerate(t *testing.T) {
+	m := NewMatrix([]string{"only"})
+	m.Add("only", "only", 10)
+	if _, ok := m.IntraInterRatio(); ok {
+		t.Error("single-AS matrix should have no ratio")
+	}
+	empty := NewMatrix(nil)
+	if _, ok := empty.IntraInterRatio(); ok {
+		t.Error("empty matrix should have no ratio")
+	}
+	zero := NewMatrix([]string{"a", "b"})
+	zero.Add("a", "a", 5) // all inter-AS cells zero
+	if _, ok := zero.IntraInterRatio(); ok {
+		t.Error("zero off-diagonal should have no ratio")
+	}
+}
+
+func TestMatrixPanics(t *testing.T) {
+	assertPanics(t, func() { NewMatrix([]string{"x", "x"}) })
+	m := NewMatrix([]string{"a"})
+	assertPanics(t, func() { m.Add("nope", "a", 1) })
+	assertPanics(t, func() { m.Add("a", "nope", 1) })
+}
+
+func assertPanics(t *testing.T, fn func()) {
+	t.Helper()
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	fn()
+}
+
+func TestPercent(t *testing.T) {
+	if got := Percent(25, 100); got != 25 {
+		t.Errorf("Percent = %v", got)
+	}
+	if got := Percent(1, 0); got != 0 {
+		t.Errorf("zero-denominator Percent = %v, want 0", got)
+	}
+	if got := Percent(3, 4); got != 75 {
+		t.Errorf("Percent = %v, want 75", got)
+	}
+}
+
+func BenchmarkAccumulatorAdd(b *testing.B) {
+	var a Accumulator
+	for i := 0; i < b.N; i++ {
+		a.Add(float64(i))
+	}
+}
+
+func BenchmarkSampleMedian(b *testing.B) {
+	var s Sample
+	rng := rand.New(rand.NewSource(1))
+	for i := 0; i < 10000; i++ {
+		s.Add(rng.Float64())
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		s.Add(rng.Float64())
+		_ = s.Median()
+	}
+}

@@ -1,0 +1,224 @@
+package units
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+	"time"
+)
+
+func TestTransmitTimeKnownValues(t *testing.T) {
+	cases := []struct {
+		rate BitRate
+		size ByteSize
+		want time.Duration
+	}{
+		// The calibration point from §III-B of the paper: a 1250-byte
+		// packet on a 10 Mbit/s link serializes in exactly 1 ms.
+		{10 * Mbps, 1250 * Byte, time.Millisecond},
+		{100 * Mbps, 1250 * Byte, 100 * time.Microsecond},
+		{384 * Kbps, 48 * KB, time.Second},
+		{1 * Mbps, 125 * KB, time.Second},
+		{512 * Kbps, 1250 * Byte, 19531250 * time.Nanosecond},
+	}
+	for _, c := range cases {
+		if got := c.rate.TransmitTime(c.size); got != c.want {
+			t.Errorf("TransmitTime(%v, %v) = %v, want %v", c.rate, c.size, got, c.want)
+		}
+	}
+}
+
+func TestTransmitTimeZeroRate(t *testing.T) {
+	if got := BitRate(0).TransmitTime(KB); got < time.Hour {
+		t.Errorf("zero rate should yield effectively infinite time, got %v", got)
+	}
+	if got := BitRate(-5).TransmitTime(KB); got < time.Hour {
+		t.Errorf("negative rate should yield effectively infinite time, got %v", got)
+	}
+}
+
+func TestBytesIn(t *testing.T) {
+	if got := (384 * Kbps).BytesIn(time.Second); got != 48*KB {
+		t.Errorf("384kbps over 1s = %v, want 48KB", got)
+	}
+	if got := (10 * Mbps).BytesIn(time.Millisecond); got != 1250*Byte {
+		t.Errorf("10Mbps over 1ms = %v, want 1250B", got)
+	}
+	if got := (10 * Mbps).BytesIn(-time.Second); got != 0 {
+		t.Errorf("negative duration should give 0, got %v", got)
+	}
+	if got := BitRate(0).BytesIn(time.Second); got != 0 {
+		t.Errorf("zero rate should give 0, got %v", got)
+	}
+}
+
+func TestRateOf(t *testing.T) {
+	if got := RateOf(48*KB, time.Second); got != 384*Kbps {
+		t.Errorf("RateOf(48KB, 1s) = %v, want 384kbps", got)
+	}
+	if got := RateOf(KB, 0); got != 0 {
+		t.Errorf("RateOf with zero duration = %v, want 0", got)
+	}
+}
+
+// Round trip: for rates and sizes in the simulator's realistic envelope,
+// transmitting for TransmitTime(size) delivers size bytes back (within the
+// one-byte truncation of integer arithmetic).
+func TestTransmitRoundTripProperty(t *testing.T) {
+	f := func(rateKbps uint16, sizeKB uint16) bool {
+		rate := BitRate(int64(rateKbps)+1) * Kbps
+		size := ByteSize(int64(sizeKB)+1) * KB
+		d := rate.TransmitTime(size)
+		back := rate.BytesIn(d)
+		diff := int64(size) - int64(back)
+		return diff >= 0 && diff <= 1
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 2000}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TransmitTime is monotone in size and antitone in rate.
+func TestTransmitTimeMonotonicityProperty(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		r := BitRate(rng.Int63n(int64(Gbps))) + Kbps
+		s1 := ByteSize(rng.Int63n(int64(MB))) + 1
+		s2 := s1 + ByteSize(rng.Int63n(int64(MB)))
+		if r.TransmitTime(s1) > r.TransmitTime(s2) {
+			t.Fatalf("TransmitTime not monotone in size: r=%v s1=%v s2=%v", r, s1, s2)
+		}
+		r2 := r + BitRate(rng.Int63n(int64(Mbps)))
+		if r2.TransmitTime(s1) > r.TransmitTime(s1) {
+			t.Fatalf("TransmitTime not antitone in rate: r=%v r2=%v s=%v", r, r2, s1)
+		}
+	}
+}
+
+func TestParseBitRate(t *testing.T) {
+	cases := []struct {
+		in   string
+		want BitRate
+	}{
+		{"384kbps", 384 * Kbps},
+		{"384 kbps", 384 * Kbps},
+		{"384Kbit/s", 384 * Kbps},
+		{"10Mbps", 10 * Mbps},
+		{"10m", 10 * Mbps},
+		{"0.512Mbps", 512 * Kbps},
+		{"1.8M", 1800 * Kbps},
+		{"1g", Gbps},
+		{"1000", 1000 * BitPerSecond},
+		{"250bps", 250 * BitPerSecond},
+	}
+	for _, c := range cases {
+		got, err := ParseBitRate(c.in)
+		if err != nil {
+			t.Errorf("ParseBitRate(%q) error: %v", c.in, err)
+			continue
+		}
+		if got != c.want {
+			t.Errorf("ParseBitRate(%q) = %v, want %v", c.in, got, c.want)
+		}
+	}
+}
+
+func TestParseBitRateErrors(t *testing.T) {
+	for _, in := range []string{"", "fast", "-3Mbps", "..k", "Mbps"} {
+		if _, err := ParseBitRate(in); err == nil {
+			t.Errorf("ParseBitRate(%q) should fail", in)
+		}
+	}
+}
+
+func TestMustBitRatePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("MustBitRate should panic on bad input")
+		}
+	}()
+	MustBitRate("not-a-rate")
+}
+
+func TestParseAccessSpec(t *testing.T) {
+	// Every access spec that appears in Table I of the paper.
+	cases := []struct {
+		in       string
+		down, up BitRate
+	}{
+		{"6/0.512", 6 * Mbps, 512 * Kbps},
+		{"4/0.384", 4 * Mbps, 384 * Kbps},
+		{"8/0.384", 8 * Mbps, 384 * Kbps},
+		{"22/1.8", 22 * Mbps, 1800 * Kbps},
+		{"2.5/0.384", 2500 * Kbps, 384 * Kbps},
+	}
+	for _, c := range cases {
+		got, err := ParseAccessSpec(c.in)
+		if err != nil {
+			t.Errorf("ParseAccessSpec(%q) error: %v", c.in, err)
+			continue
+		}
+		if got.Down != c.down || got.Up != c.up {
+			t.Errorf("ParseAccessSpec(%q) = %v/%v, want %v/%v", c.in, got.Down, got.Up, c.down, c.up)
+		}
+	}
+}
+
+func TestParseAccessSpecErrors(t *testing.T) {
+	for _, in := range []string{"", "6", "6/", "/0.5", "6/0/5", "a/b", "0/1", "1/0", "-1/1"} {
+		if _, err := ParseAccessSpec(in); err == nil {
+			t.Errorf("ParseAccessSpec(%q) should fail", in)
+		}
+	}
+}
+
+func TestAccessSpecString(t *testing.T) {
+	a := MustAccessSpec("6/0.512")
+	if got := a.String(); got != "6/0.512" {
+		t.Errorf("String() = %q, want 6/0.512", got)
+	}
+}
+
+func TestSymmetric(t *testing.T) {
+	a := Symmetric(100 * Mbps)
+	if a.Up != a.Down || a.Up != 100*Mbps {
+		t.Errorf("Symmetric(100Mbps) = %+v", a)
+	}
+}
+
+func TestStringRendering(t *testing.T) {
+	cases := []struct {
+		in   string
+		rate BitRate
+	}{
+		{"384.00Kbps", 384 * Kbps},
+		{"10.00Mbps", 10 * Mbps},
+		{"1.00Gbps", Gbps},
+		{"12bps", 12},
+	}
+	for _, c := range cases {
+		if got := c.rate.String(); got != c.in {
+			t.Errorf("String() = %q, want %q", got, c.in)
+		}
+	}
+	sizes := []struct {
+		want string
+		size ByteSize
+	}{
+		{"48.00KB", 48 * KB},
+		{"3.00MB", 3 * MB},
+		{"2.50GB", 2500 * MB},
+		{"999B", 999},
+	}
+	for _, c := range sizes {
+		if got := c.size.String(); got != c.want {
+			t.Errorf("String() = %q, want %q", got, c.want)
+		}
+	}
+}
+
+func TestKilobits(t *testing.T) {
+	if got := (384 * Kbps).Kilobits(); got != 384 {
+		t.Errorf("Kilobits() = %v, want 384", got)
+	}
+}

@@ -1,0 +1,272 @@
+package world
+
+import (
+	"testing"
+
+	"napawine/internal/topology"
+)
+
+func smallSpec(seed int64, peers int) Spec {
+	return Spec{
+		Seed:              seed,
+		Peers:             peers,
+		HighBwFraction:    0.6,
+		NATFraction:       0.2,
+		FWFraction:        0.05,
+		SubnetsPerAS:      2,
+		ProbeASBackground: 3,
+	}
+}
+
+func TestTableIStructure(t *testing.T) {
+	sites := TableI()
+	if err := ValidateTableI(sites); err != nil {
+		t.Fatal(err)
+	}
+	inst, homes := probeCounts(sites)
+	if inst != 37 || homes != 7 {
+		t.Errorf("inventory = %d institutional + %d homes, want 37+7 (§II: 44 peers)", inst, homes)
+	}
+	// Spot-check rows against the paper.
+	byName := map[string]SiteSpec{}
+	for _, s := range sites {
+		byName[s.Name] = s
+	}
+	if s := byName["PoliTO"]; s.HighBw != 9 || len(s.Homes) != 3 || s.Country != "IT" {
+		t.Errorf("PoliTO row wrong: %+v", s)
+	}
+	if s := byName["ENST"]; !s.HighBwFW || s.Country != "FR" {
+		t.Error("ENST must be firewalled, in FR")
+	}
+	if s := byName["UniTN"]; s.HighBwNAT != 2 || s.ASLabel != "AS2" {
+		t.Error("UniTN must have 2 NATted high-bw hosts in AS2")
+	}
+	if byName["PoliTO"].ASLabel != byName["UniTN"].ASLabel {
+		t.Error("PoliTO and UniTN share AS2 in the paper")
+	}
+	// Home accesses must match the Table I spec strings.
+	if byName["ENST"].Homes[0].Access.Spec.String() != "22/1.8" {
+		t.Error("ENST home must be 22/1.8")
+	}
+	if byName["WUT"].Homes[0].Access.Kind.String() != "CATV" {
+		t.Error("WUT home must be CATV")
+	}
+}
+
+func TestValidateTableIFailures(t *testing.T) {
+	good := TableI()
+	if err := ValidateTableI(good[:6]); err == nil {
+		t.Error("6 sites should fail")
+	}
+	mutated := TableI()
+	mutated[0].Homes = nil // drop a home probe
+	if err := ValidateTableI(mutated); err == nil {
+		t.Error("6 home probes should fail")
+	}
+	merged := TableI()
+	merged[2].ASLabel = "AS1" // MT joins AS1 → only 5 ASes
+	if err := ValidateTableI(merged); err == nil {
+		t.Error("5 institutional ASes should fail")
+	}
+}
+
+func TestBuildWorld(t *testing.T) {
+	w, err := Build(smallSpec(1, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Probes) != 44 {
+		t.Errorf("probes = %d, want 44 (§II)", len(w.Probes))
+	}
+	if len(w.Background) != 200+6*3 {
+		t.Errorf("background = %d, want %d", len(w.Background), 200+18)
+	}
+	// Every probe address must resolve in the registry to its declared
+	// location facts.
+	for _, p := range w.Probes {
+		got, ok := w.Topo.Locate(p.Host.Addr)
+		if !ok {
+			t.Fatalf("probe %s not locatable", p.Label)
+		}
+		if got != p.Host {
+			t.Errorf("probe %s locate mismatch", p.Label)
+		}
+		if !w.IsProbe(p.Host.Addr) {
+			t.Errorf("probe %s not in probe set", p.Label)
+		}
+	}
+	// Background peers are never in the probe set.
+	for _, bg := range w.Background {
+		if w.IsProbe(bg.Host.Addr) {
+			t.Error("background peer flagged as probe")
+		}
+	}
+	// Source exists and is high-bandwidth, in the dominant country.
+	if !w.SourceLink.HighBandwidth() {
+		t.Error("source must be high-bw")
+	}
+	if w.SourceHost.Country != "CN" {
+		t.Errorf("source country = %s, want CN", w.SourceHost.Country)
+	}
+}
+
+func TestProbeASStructure(t *testing.T) {
+	w, err := Build(smallSpec(2, 100))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PoliTO and UniTN probes share an AS; other sites do not.
+	asOf := map[string]topology.ASN{}
+	for _, p := range w.Probes {
+		if p.ASName != "ASx" {
+			if prev, ok := asOf[p.Site]; ok && prev != p.Host.AS {
+				t.Errorf("site %s spans two ASes", p.Site)
+			}
+			asOf[p.Site] = p.Host.AS
+		}
+	}
+	if asOf["PoliTO"] != asOf["UniTN"] {
+		t.Error("PoliTO and UniTN must share AS2")
+	}
+	if asOf["BME"] == asOf["MT"] {
+		t.Error("BME (AS1) and MT (AS3) must be distinct ASes")
+	}
+	// Home probes sit in their own consumer ASes, not the site AS.
+	for _, p := range w.Probes {
+		if p.ASName == "ASx" {
+			for site, asn := range asOf {
+				if p.Host.AS == asn {
+					t.Errorf("home probe %s landed in institutional AS of %s", p.Label, site)
+				}
+			}
+		}
+	}
+}
+
+func TestProbeASBackgroundPresent(t *testing.T) {
+	w, err := Build(smallSpec(3, 50))
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Each institutional AS must contain background (non-probe) peers in
+	// a subnet different from the campus LANs.
+	probeAS := map[topology.ASN]bool{}
+	probeSubnets := map[topology.SubnetID]bool{}
+	for _, p := range w.Probes {
+		if p.ASName != "ASx" {
+			probeAS[p.Host.AS] = true
+			probeSubnets[p.Host.Subnet] = true
+		}
+	}
+	counts := map[topology.ASN]int{}
+	for _, bg := range w.Background {
+		if probeAS[bg.Host.AS] {
+			counts[bg.Host.AS]++
+			if probeSubnets[bg.Host.Subnet] {
+				t.Error("probe-AS background peer landed on a campus LAN subnet")
+			}
+		}
+	}
+	if len(counts) != 6 {
+		t.Errorf("background present in %d probe ASes, want 6", len(counts))
+	}
+}
+
+func TestCountryMixRoughlyHonored(t *testing.T) {
+	w, err := Build(smallSpec(4, 2000))
+	if err != nil {
+		t.Fatal(err)
+	}
+	byCC := map[topology.CC]int{}
+	for _, bg := range w.Background {
+		byCC[bg.Host.Country]++
+	}
+	n := len(w.Background)
+	cnFrac := float64(byCC["CN"]) / float64(n)
+	if cnFrac < 0.5 || cnFrac > 0.75 {
+		t.Errorf("CN fraction = %.2f, want ≈0.62", cnFrac)
+	}
+	for _, cc := range []topology.CC{"HU", "IT", "FR", "PL"} {
+		if byCC[cc] == 0 {
+			t.Errorf("no background peers in probe country %s", cc)
+		}
+	}
+}
+
+func TestHighBwFractionRoughlyHonored(t *testing.T) {
+	spec := smallSpec(5, 2000)
+	spec.HighBwFraction = 0.6
+	w, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	fast := 0
+	for _, bg := range w.Background {
+		if bg.Link.HighBandwidth() {
+			fast++
+		}
+	}
+	frac := float64(fast) / float64(len(w.Background))
+	if frac < 0.5 || frac > 0.7 {
+		t.Errorf("high-bw fraction = %.2f, want ≈0.6", frac)
+	}
+}
+
+func TestBuildDeterminism(t *testing.T) {
+	w1, err := Build(smallSpec(7, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	w2, err := Build(smallSpec(7, 300))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w1.Background) != len(w2.Background) {
+		t.Fatal("background sizes differ")
+	}
+	for i := range w1.Background {
+		if w1.Background[i].Host != w2.Background[i].Host ||
+			w1.Background[i].Link != w2.Background[i].Link {
+			t.Fatalf("background peer %d differs across identical builds", i)
+		}
+	}
+	for i := range w1.Probes {
+		if w1.Probes[i].Host != w2.Probes[i].Host {
+			t.Fatalf("probe %d differs across identical builds", i)
+		}
+	}
+}
+
+func TestBuildValidation(t *testing.T) {
+	if _, err := Build(Spec{Seed: 1, Peers: -5}); err == nil {
+		t.Error("negative peers should fail")
+	}
+	if _, err := Build(Spec{Seed: 1, HighBwFraction: 1.5}); err == nil {
+		t.Error("bad fraction should fail")
+	}
+	if _, err := Build(Spec{Seed: 1, Mix: []CountryShare{{CC: "CN", Continent: topology.Asia, Share: 0}}}); err == nil {
+		t.Error("massless mix should fail")
+	}
+}
+
+func TestProbeAddrsIsCopy(t *testing.T) {
+	w, err := Build(smallSpec(8, 10))
+	if err != nil {
+		t.Fatal(err)
+	}
+	m := w.ProbeAddrs()
+	for k := range m {
+		delete(m, k)
+	}
+	if len(w.ProbeAddrs()) == 0 {
+		t.Error("ProbeAddrs returned internal storage")
+	}
+}
+
+func BenchmarkBuildWorld2000(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		if _, err := Build(smallSpec(int64(i), 2000)); err != nil {
+			b.Fatal(err)
+		}
+	}
+}

@@ -1,0 +1,195 @@
+// Package napawine reproduces "Network Awareness of P2P Live Streaming
+// Applications" (Ciullo et al., IEEE IPDPS 2009): a packet-level emulation
+// of the NAPA-WINE measurement campaign over PPLive-, SopCast- and
+// TVAnts-like mesh-pull swarms, plus the paper's preference-partition
+// framework that infers each application's network awareness from passive
+// traces.
+//
+// The typical entry point runs one experiment per application and renders
+// the paper's tables:
+//
+//	results, err := napawine.RunAll(napawine.Scale{Seed: 1, Duration: 10 * time.Minute})
+//	...
+//	napawine.TableIV(results).Render(os.Stdout)
+//
+// Everything underneath — the discrete-event engine, synthetic AS/country
+// topology, access-link model, the overlay protocol and the analysis
+// pipeline — is exposed through internal packages; this facade re-exports
+// the surface a downstream user needs.
+package napawine
+
+import (
+	"fmt"
+	"io"
+	"time"
+
+	"napawine/internal/apps"
+	"napawine/internal/core"
+	"napawine/internal/experiment"
+	"napawine/internal/overlay"
+	"napawine/internal/policy"
+	"napawine/internal/report"
+	"napawine/internal/runner"
+)
+
+// Re-exported experiment types.
+type (
+	// Config parameterizes one experiment (see experiment.Config).
+	Config = experiment.Config
+	// Result is one experiment's output.
+	Result = experiment.Result
+	// ProbeStats summarizes one vantage point.
+	ProbeStats = experiment.ProbeStats
+	// TableIVCell is one (property, app) cell group of Table IV.
+	TableIVCell = experiment.TableIVCell
+	// GeoBreakdown is the Figure-1 dataset.
+	GeoBreakdown = experiment.GeoBreakdown
+	// ASTraffic is the Figure-2 dataset.
+	ASTraffic = experiment.ASTraffic
+	// Metrics carries one preference-index evaluation (Eqs. 1–8).
+	Metrics = core.Metrics
+	// Observation is the per-(probe, peer) aggregate the framework
+	// consumes.
+	Observation = core.Observation
+	// Profile is an application behaviour profile.
+	Profile = overlay.Profile
+	// Table is a renderable result table.
+	Table = report.Table
+)
+
+// Re-exported policy types for building custom application profiles (the
+// paper's future-work direction: more locality-aware clients).
+type (
+	// Weight scores peer-selection candidates.
+	Weight = policy.Weight
+	// Uniform is location- and bandwidth-blind selection.
+	Uniform = policy.Uniform
+	// BandwidthBias prefers measured-fast peers.
+	BandwidthBias = policy.BandwidthBias
+	// ASBias prefers same-AS peers.
+	ASBias = policy.ASBias
+	// CCBias prefers same-country peers.
+	CCBias = policy.CCBias
+	// SubnetBias prefers same-subnet peers.
+	SubnetBias = policy.SubnetBias
+	// RTTBias prefers nearby peers.
+	RTTBias = policy.RTTBias
+	// ProductWeight composes weights multiplicatively.
+	ProductWeight = policy.Product
+)
+
+// Application names as printed in the paper.
+const (
+	PPLive  = "PPLive"
+	SopCast = "SopCast"
+	TVAnts  = "TVAnts"
+)
+
+// Apps lists the three applications in the paper's order.
+func Apps() []string { return []string{PPLive, SopCast, TVAnts} }
+
+// DefaultConfig returns the calibrated configuration for one application.
+func DefaultConfig(app string) Config { return experiment.Default(app) }
+
+// ProfileOf returns a fresh behaviour profile for one application.
+func ProfileOf(app string) (*Profile, error) { return apps.ByName(app) }
+
+// ProfileVariant derives an ablation profile from base with one knob
+// mutated.
+func ProfileVariant(base *Profile, name string, mutate func(*Profile)) *Profile {
+	return apps.Variant(base, name, mutate)
+}
+
+// Run executes one experiment.
+func Run(cfg Config) (*Result, error) { return experiment.Run(cfg) }
+
+// Scale compactly adjusts the default experiment battery.
+type Scale struct {
+	Seed     int64
+	Duration time.Duration
+	// PeerFactor scales each application's default background
+	// population (1.0 = paper-calibrated default; 0 selects 1.0).
+	PeerFactor float64
+	// Workers bounds parallel experiments (0 = GOMAXPROCS).
+	Workers int
+}
+
+// RunAll executes the three applications' experiments in parallel and
+// returns them in the paper's order.
+func RunAll(s Scale) ([]*Result, error) {
+	cfgs := make([]Config, 0, 3)
+	for _, app := range Apps() {
+		cfg := experiment.Default(app)
+		if s.Seed != 0 {
+			cfg.Seed = s.Seed
+			cfg.World.Seed = s.Seed
+		}
+		if s.Duration > 0 {
+			cfg.Duration = s.Duration
+		}
+		if s.PeerFactor > 0 {
+			cfg.World.Peers = int(float64(cfg.World.Peers) * s.PeerFactor)
+			if cfg.World.Peers < 50 {
+				cfg.World.Peers = 50
+			}
+		}
+		cfgs = append(cfgs, cfg)
+	}
+	results, err := runner.Parallel(cfgs, s.Workers, experiment.Run)
+	if err != nil {
+		return nil, err
+	}
+	experiment.SortResults(results)
+	return results, nil
+}
+
+// TableII builds the experiment-summary table.
+func TableII(results []*Result) *Table { return experiment.TableII(results) }
+
+// TableIII builds the self-induced-bias table.
+func TableIII(results []*Result) *Table { return experiment.TableIII(results) }
+
+// TableIV builds the network-awareness table.
+func TableIV(results []*Result) *Table { return experiment.TableIV(results) }
+
+// ComputeTableIV returns the raw Table IV metrics for one result.
+func ComputeTableIV(r *Result) []TableIVCell { return experiment.ComputeTableIV(r) }
+
+// Figure1 computes the geographic breakdown for one result.
+func Figure1(r *Result) GeoBreakdown { return experiment.ComputeFigure1(r) }
+
+// RenderFigure1 writes the Figure-1 bars for a set of results.
+func RenderFigure1(w io.Writer, results []*Result) error {
+	return experiment.RenderFigure1(w, results)
+}
+
+// Figure2 computes the AS-to-AS probe traffic matrix for one result.
+func Figure2(r *Result) ASTraffic { return experiment.ComputeFigure2(r) }
+
+// RenderFigure2 writes the Figure-2 matrices for a set of results.
+func RenderFigure2(w io.Writer, results []*Result) error {
+	return experiment.RenderFigure2(w, results)
+}
+
+// HopSweep evaluates the HOP preference indices across a band of
+// thresholds around the paper's fixed 19, the A2 ablation: it shows the
+// 50/50 split is not an artifact of the exact cut.
+func HopSweep(r *Result, lo, hi int) (*Table, error) {
+	if lo > hi || lo < 1 {
+		return nil, fmt.Errorf("napawine: bad hop sweep range [%d,%d]", lo, hi)
+	}
+	t := report.NewTable(
+		fmt.Sprintf("HOP threshold sweep — %s", r.App),
+		"Threshold", "B'D%", "P'D%", "B'U%", "P'U%")
+	for th := lo; th <= hi; th++ {
+		c := core.HOPClassifier{Threshold: th}
+		d := core.Compute(r.Observations, core.Download, c, r.Cfg.Contrib, true)
+		u := core.Compute(r.Observations, core.Upload, c, r.Cfg.Contrib, true)
+		t.Add(fmt.Sprintf("%d", th),
+			report.PctOrDash(d.BytePct, d.Valid()),
+			report.PctOrDash(d.PeerPct, d.Valid()),
+			report.PctOrDash(u.BytePct, u.Valid()),
+			report.PctOrDash(u.PeerPct, u.Valid()))
+	}
+	return t, nil
+}
