@@ -176,3 +176,85 @@ func TestDefaultConfigKnobs(t *testing.T) {
 		t.Error("default config incomplete")
 	}
 }
+
+// TestSweepAPI exercises the replicated battery through the facade: three
+// applications × five seeds in parallel, reduced to aggregated tables with
+// error bars. Miniature scale keeps the 15 runs fast.
+func TestSweepAPI(t *testing.T) {
+	res, err := napawine.Sweep(napawine.SweepSpec{
+		BaseSeed:   301,
+		Trials:     5,
+		Duration:   20 * time.Second,
+		PeerFactor: 0.02, // floors at 50 peers per swarm
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := res.Trials(); got != 5 {
+		t.Fatalf("Trials = %d, want 5", got)
+	}
+	if len(res.Groups) != 3 {
+		t.Fatalf("groups = %d, want 3", len(res.Groups))
+	}
+	wantApps := []string{"PPLive", "SopCast", "TVAnts"}
+	for i, g := range res.Groups {
+		if g.Label != wantApps[i] {
+			t.Errorf("group %d label = %q, want %q", i, g.Label, wantApps[i])
+		}
+		if len(g.Summaries) != 5 {
+			t.Errorf("%s summaries = %d, want 5", g.Label, len(g.Summaries))
+		}
+		seen := map[int64]bool{}
+		for _, s := range g.Summaries {
+			if s.App != g.App {
+				t.Errorf("summary app %q in group %q", s.App, g.App)
+			}
+			seen[s.Seed] = true
+		}
+		if len(seen) != 5 {
+			t.Errorf("%s has duplicate seeds: %v", g.Label, seen)
+		}
+	}
+	var b strings.Builder
+	for _, tab := range []*napawine.Table{
+		res.TableII(), res.TableIII(), res.TableIV(), res.HealthTable(),
+	} {
+		b.Reset()
+		if err := tab.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		if !strings.Contains(b.String(), "±") {
+			t.Errorf("aggregated table lacks error bars:\n%s", b.String())
+		}
+		for _, app := range wantApps {
+			if !strings.Contains(b.String(), app) {
+				t.Errorf("table missing %s row:\n%s", app, b.String())
+			}
+		}
+	}
+}
+
+// TestSummarizeMatchesSingleRunTables pins the per-run reduction to the
+// single-run table pipeline: a Summary must carry exactly the numbers the
+// unreplicated Table II/III code computes from the full Result.
+func TestSummarizeMatchesSingleRunTables(t *testing.T) {
+	r := getBattery(t)[1] // SopCast
+	s := napawine.Summarize(r)
+	if s.App != r.App {
+		t.Errorf("summary app = %q, want %q", s.App, r.App)
+	}
+	var rx float64
+	for _, p := range r.PerProbe {
+		rx += p.RxKbps
+	}
+	rx /= float64(len(r.PerProbe))
+	if diff := s.RxKbpsMean - rx; diff > 1e-9 || diff < -1e-9 {
+		t.Errorf("RxKbpsMean = %v, want %v", s.RxKbpsMean, rx)
+	}
+	if len(s.TableIV) != 5 {
+		t.Errorf("TableIV cells = %d, want 5 properties", len(s.TableIV))
+	}
+	if s.Events != r.Events || s.MeanContinuity != r.MeanContinuity {
+		t.Error("summary health fields diverge from result")
+	}
+}

@@ -164,6 +164,28 @@ func BenchmarkAblationHopThreshold(b *testing.B) {
 	}
 }
 
+// BenchmarkSweep measures the replicated battery layer end to end: three
+// applications × three seeds at miniature scale, fanned through the
+// parallel runner and reduced to the aggregated mean±stderr tables.
+func BenchmarkSweep(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		res, err := napawine.Sweep(napawine.SweepSpec{
+			BaseSeed:   int64(i*100 + 1),
+			Trials:     3,
+			Duration:   45 * time.Second,
+			PeerFactor: 0.1,
+		})
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, t := range []*napawine.Table{res.TableII(), res.TableIII(), res.TableIV()} {
+			if err := t.Render(io.Discard); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}
+}
+
 // BenchmarkSwarmSimulation isolates the engine: events per second for a
 // mid-size PPLive-profile swarm (the heaviest profile).
 func BenchmarkSwarmSimulation(b *testing.B) {

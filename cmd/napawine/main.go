@@ -8,8 +8,10 @@
 //	napawine -exp all -apps SopCast      # everything, one app
 //	napawine -exp hopsweep               # A2 ablation: HOP threshold sweep
 //	napawine -exp table1                 # testbed inventory (no simulation)
+//	napawine -seeds 5 -workers 4         # replicated sweep, tables with ±stderr
 //
-// Deterministic: the same -seed regenerates identical tables.
+// Deterministic: the same -seed regenerates identical tables; the same
+// -seed/-seeds pair regenerates identical sweep tables.
 package main
 
 import (
@@ -28,7 +30,8 @@ func main() {
 	var (
 		exp      = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig1|fig2|hopsweep|all")
 		appsFlag = flag.String("apps", "PPLive,SopCast,TVAnts", "comma-separated application list")
-		seed     = flag.Int64("seed", 1, "simulation seed")
+		seed     = flag.Int64("seed", 1, "simulation seed (sweep: first trial seed)")
+		seeds    = flag.Int("seeds", 1, "trial seeds per app; >1 runs a replicated sweep with ±stderr tables")
 		duration = flag.Duration("duration", 5*time.Minute, "virtual experiment duration")
 		factor   = flag.Float64("scale", 1.0, "background population scale factor")
 		workers  = flag.Int("workers", 0, "parallel experiments (0 = GOMAXPROCS)")
@@ -42,8 +45,19 @@ func main() {
 	}
 
 	wanted := map[string]bool{}
+	appList := []string{}
 	for _, a := range strings.Split(*appsFlag, ",") {
-		wanted[strings.TrimSpace(a)] = true
+		a = strings.TrimSpace(a)
+		if wanted[a] {
+			continue
+		}
+		wanted[a] = true
+		appList = append(appList, a)
+	}
+
+	if *seeds > 1 {
+		runSweep(appList, *seed, *seeds, *duration, *factor, *workers, *exp, *csv)
+		return
 	}
 
 	fmt.Fprintf(os.Stderr, "running %s for %v (seed %d, scale %.2f)...\n",
@@ -119,6 +133,55 @@ func main() {
 			}
 			render(t)
 		}
+	}
+}
+
+// runSweep executes the replicated multi-seed battery and renders the
+// aggregated (mean ± stderr) tables. Figures and the hop sweep are
+// single-run reductions and are not replicated here.
+func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, workers int, exp string, csv bool) {
+	if exp == "fig1" || exp == "fig2" || exp == "hopsweep" {
+		fatal(fmt.Errorf("-exp %s is a single-run reduction; drop -seeds or use -seeds 1", exp))
+	}
+	fmt.Fprintf(os.Stderr, "sweeping %s × %d seeds for %v (base seed %d, scale %.2f)...\n",
+		strings.Join(appList, ","), trials, duration, seed, factor)
+	start := time.Now()
+	res, err := napawine.Sweep(napawine.SweepSpec{
+		Apps:       appList,
+		BaseSeed:   seed,
+		Trials:     trials,
+		Duration:   duration,
+		PeerFactor: factor,
+		Workers:    workers,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v (%d runs)\n\n",
+		time.Since(start).Round(time.Millisecond), len(appList)*trials)
+
+	render := func(t *napawine.Table) {
+		var err error
+		if csv {
+			err = t.RenderCSV(os.Stdout)
+		} else {
+			err = t.Render(os.Stdout)
+			fmt.Println()
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+	show := func(name string) bool { return exp == name || exp == "all" }
+	if show("table2") {
+		render(res.TableII())
+	}
+	if show("table3") {
+		render(res.TableIII())
+	}
+	if show("table4") {
+		render(res.TableIV())
+		render(res.HealthTable())
 	}
 }
 

@@ -1,0 +1,3 @@
+module napawine
+
+go 1.24

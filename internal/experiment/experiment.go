@@ -112,6 +112,20 @@ func Default(app string) Config {
 	return cfg
 }
 
+// ScalePeers scales the background population by factor (<= 0 leaves the
+// default), flooring at 50 peers so a tiny factor still yields a viable
+// swarm. Single-run batteries (napawine.RunAll) and sweeps share this rule;
+// the same scale flag must mean the same world in both modes.
+func (c *Config) ScalePeers(factor float64) {
+	if factor <= 0 {
+		return
+	}
+	c.World.Peers = int(float64(c.World.Peers) * factor)
+	if c.World.Peers < 50 {
+		c.World.Peers = 50
+	}
+}
+
 func (c *Config) fillDefaults() {
 	if c.Duration <= 0 {
 		c.Duration = 10 * time.Minute

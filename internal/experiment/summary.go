@@ -1,0 +1,120 @@
+package experiment
+
+import (
+	"napawine/internal/core"
+	"napawine/internal/stats"
+)
+
+// Summary is the bounded-memory reduction of one Result: every number a
+// replicated sweep needs to rebuild Tables II–IV, and nothing else. A full
+// Result retains one Observation per probe×peer pair plus the ground-truth
+// ledger — tens of megabytes per run — so a battery of apps × seeds reduces
+// each run to a Summary the moment it completes and lets the Result go.
+type Summary struct {
+	App  string
+	Seed int64
+
+	// Table II inputs: mean and max across this run's probes.
+	RxKbpsMean, RxKbpsMax       float64
+	TxKbpsMean, TxKbpsMax       float64
+	AllPeersMean, AllPeersMax   float64
+	ContribRxMean, ContribRxMax float64
+	ContribTxMean, ContribTxMax float64
+
+	// Table III inputs.
+	SelfBiasContrib core.SelfBias
+	SelfBiasAll     core.SelfBias
+
+	// Table IV inputs, one cell per paper property in classifier order.
+	TableIV []SummaryCell
+
+	// Run health, reported by the sweep summary table.
+	HopMedian      float64
+	MeanContinuity float64
+	Events         uint64
+	Unlocated      int
+}
+
+// SummaryCell flattens one Table IV (property, app) cell group into the
+// eight printed columns with their validity flags, in the paper's order:
+// B'D, P'D, BD, PD, B'U, P'U, BU, PU.
+type SummaryCell struct {
+	Property string
+	Vals     [8]float64
+	Valid    [8]bool
+}
+
+// TableIVColumns names the eight Table IV columns in SummaryCell order.
+var TableIVColumns = [8]string{"B'D%", "P'D%", "BD%", "PD%", "B'U%", "P'U%", "BU%", "PU%"}
+
+// Summarize reduces a Result to its Summary. It is the only part of a
+// Result a sweep retains per run.
+func Summarize(r *Result) Summary {
+	s := Summary{
+		App:            r.App,
+		Seed:           r.Cfg.Seed,
+		HopMedian:      r.HopMedianMeasured,
+		MeanContinuity: r.MeanContinuity,
+		Events:         r.Events,
+		Unlocated:      r.Unlocated,
+	}
+
+	rx, tx, all, crx, ctx := r.probeAccums()
+	s.RxKbpsMean, s.RxKbpsMax = rx.Mean(), rx.Max()
+	s.TxKbpsMean, s.TxKbpsMax = tx.Mean(), tx.Max()
+	s.AllPeersMean, s.AllPeersMax = all.Mean(), all.Max()
+	s.ContribRxMean, s.ContribRxMax = crx.Mean(), crx.Max()
+	s.ContribTxMean, s.ContribTxMax = ctx.Mean(), ctx.Max()
+
+	s.SelfBiasContrib = core.ComputeSelfBias(r.Observations, r.Cfg.Contrib, true)
+	s.SelfBiasAll = core.ComputeSelfBias(r.Observations, r.Cfg.Contrib, false)
+	s.TableIV = flattenTableIV(r)
+	return s
+}
+
+// probeAccums folds the per-probe statistics into one accumulator per
+// Table II column family. TableII (single-run) and Summarize (sweep) both
+// read these, so the two modes can never drift.
+func (r *Result) probeAccums() (rx, tx, all, crx, ctx stats.Accumulator) {
+	for _, p := range r.PerProbe {
+		rx.Add(p.RxKbps)
+		tx.Add(p.TxKbps)
+		all.Add(float64(p.AllPeers))
+		crx.Add(float64(p.ContribRx))
+		ctx.Add(float64(p.ContribTx))
+	}
+	return
+}
+
+// flattenTableIV reduces one result's Table IV metrics to the eight printed
+// columns with their validity flags. It is the single source of the
+// column-order and dash conventions for both the single-run renderer and
+// the sweep aggregation.
+func flattenTableIV(r *Result) []SummaryCell {
+	cells := make([]SummaryCell, 0, 5)
+	for _, cell := range ComputeTableIV(r) {
+		sc := SummaryCell{Property: cell.Property}
+		netPrime := cell.Property == "NET"
+		metrics := [8]core.Metrics{
+			cell.BDPrime, cell.PDPrime, cell.BD, cell.PD,
+			cell.BUPrime, cell.PUPrime, cell.BU, cell.PU,
+		}
+		// Even columns print byte-wise bias, odd columns peer-wise, matching
+		// TableIVColumns. Primed columns (0, 1, 4, 5) inherit the NET dash
+		// convention: the primed partition is structurally undefined for
+		// NET (the only same-subnet peers are probes, so P\W contains no
+		// preferred member by construction), and the paper prints dashes
+		// rather than 0.0.
+		for i, m := range metrics {
+			if i%2 == 0 {
+				sc.Vals[i] = m.BytePct
+			} else {
+				sc.Vals[i] = m.PeerPct
+			}
+			prime := i == 0 || i == 1 || i == 4 || i == 5
+			sc.Valid[i] = m.Valid() && !(netPrime && prime)
+		}
+		cells = append(cells, sc)
+	}
+	return cells
+}

@@ -21,14 +21,7 @@ func TableII(results []*Result) *report.Table {
 		"All peers mean", "All peers max", "Contrib RX mean", "Contrib RX max",
 		"Contrib TX mean", "Contrib TX max")
 	for _, r := range results {
-		var rx, tx, all, crx, ctx stats.Accumulator
-		for _, p := range r.PerProbe {
-			rx.Add(p.RxKbps)
-			tx.Add(p.TxKbps)
-			all.Add(float64(p.AllPeers))
-			crx.Add(float64(p.ContribRx))
-			ctx.Add(float64(p.ContribTx))
-		}
+		rx, tx, all, crx, ctx := r.probeAccums()
 		t.Add(r.App,
 			fmt.Sprintf("%.0f", rx.Mean()), fmt.Sprintf("%.0f", rx.Max()),
 			fmt.Sprintf("%.0f", tx.Mean()), fmt.Sprintf("%.0f", tx.Max()),
@@ -100,33 +93,28 @@ func ComputeTableIV(r *Result) []TableIVCell {
 }
 
 // TableIV renders the network-awareness table (paper Table IV) for a set
-// of per-application results.
+// of per-application results. Column order and dash conventions come from
+// flattenTableIV, shared with the sweep aggregation.
 func TableIV(results []*Result) *report.Table {
 	t := report.NewTable(
 		"TABLE IV — Network awareness as peer-wise and byte-wise bias",
-		"Net", "App",
-		"B'D%", "P'D%", "BD%", "PD%",
-		"B'U%", "P'U%", "BU%", "PU%")
+		append([]string{"Net", "App"}, TableIVColumns[:]...)...)
+	flat := make([][]SummaryCell, len(results))
+	for i, r := range results {
+		flat[i] = flattenTableIV(r)
+	}
 	for _, prop := range []string{"BW", "AS", "CC", "NET", "HOP"} {
-		for _, r := range results {
-			for _, cell := range ComputeTableIV(r) {
+		for i, r := range results {
+			for _, cell := range flat[i] {
 				if cell.Property != prop {
 					continue
 				}
-				// The NET primed variant is structurally undefined: the
-				// only same-subnet peers are probes, so P\W contains no
-				// preferred member by construction and the paper prints
-				// dashes rather than 0.0.
-				netPrime := prop == "NET"
-				t.Add(prop, r.App,
-					report.PctOrDash(cell.BDPrime.BytePct, cell.BDPrime.Valid() && !netPrime),
-					report.PctOrDash(cell.PDPrime.PeerPct, cell.PDPrime.Valid() && !netPrime),
-					report.PctOrDash(cell.BD.BytePct, cell.BD.Valid()),
-					report.PctOrDash(cell.PD.PeerPct, cell.PD.Valid()),
-					report.PctOrDash(cell.BUPrime.BytePct, cell.BUPrime.Valid() && !netPrime),
-					report.PctOrDash(cell.PUPrime.PeerPct, cell.PUPrime.Valid() && !netPrime),
-					report.PctOrDash(cell.BU.BytePct, cell.BU.Valid()),
-					report.PctOrDash(cell.PU.PeerPct, cell.PU.Valid()))
+				row := make([]string, 0, 10)
+				row = append(row, prop, r.App)
+				for col := 0; col < 8; col++ {
+					row = append(row, report.PctOrDash(cell.Vals[col], cell.Valid[col]))
+				}
+				t.Add(row...)
 			}
 		}
 	}

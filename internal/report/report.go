@@ -103,6 +103,21 @@ func (t *Table) RenderCSV(w io.Writer) error {
 // Pct formats a percentage the way the paper's tables do (one decimal).
 func Pct(v float64) string { return fmt.Sprintf("%.1f", v) }
 
+// MeanErr formats a replicated cell as "mean±stderr" with the given number
+// of decimals — the convention every aggregated sweep table uses.
+func MeanErr(mean, stderr float64, decimals int) string {
+	return fmt.Sprintf("%.*f±%.*f", decimals, mean, decimals, stderr)
+}
+
+// MeanErrOrDash formats a replicated cell, or "-" when no trial produced a
+// measurable value (mirroring PctOrDash for single-run tables).
+func MeanErrOrDash(mean, stderr float64, decimals int, valid bool) string {
+	if !valid {
+		return "-"
+	}
+	return MeanErr(mean, stderr, decimals)
+}
+
 // PctOrDash formats a percentage, or the paper's "-" when the cell is not
 // measurable (e.g. BW on the upload side).
 func PctOrDash(v float64, valid bool) string {

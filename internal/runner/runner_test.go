@@ -72,6 +72,38 @@ func TestParallelError(t *testing.T) {
 	}
 }
 
+func TestParallelFirstErrorByInputOrder(t *testing.T) {
+	// Input 3 fails fast, input 1 fails slow: the reported error must be
+	// input 1's — first by input order, not by completion order.
+	in := []int{0, 1, 2, 3}
+	errSlow := errors.New("slow failure")
+	errFast := errors.New("fast failure")
+	out, err := Parallel(in, 4, func(x int) (int, error) {
+		switch x {
+		case 1:
+			time.Sleep(20 * time.Millisecond)
+			return 0, errSlow
+		case 3:
+			return 0, errFast
+		}
+		return x + 100, nil
+	})
+	if !errors.Is(err, errSlow) {
+		t.Fatalf("err = %v, want input 1's error (first by input order)", err)
+	}
+	if !strings.Contains(err.Error(), "input 1") {
+		t.Errorf("error should name input 1: %v", err)
+	}
+	// Successful slots keep their results even when the call errors.
+	if out[0] != 100 || out[2] != 102 {
+		t.Errorf("partial results lost: %v", out)
+	}
+	// Failed slots hold the zero value.
+	if out[1] != 0 || out[3] != 0 {
+		t.Errorf("failed slots not zeroed: %v", out)
+	}
+}
+
 func TestParallelPanicCaptured(t *testing.T) {
 	in := []int{1}
 	_, err := Parallel(in, 1, func(int) (int, error) {

@@ -10,7 +10,6 @@
 package sim
 
 import (
-	"container/heap"
 	"fmt"
 	"math/rand"
 	"time"
@@ -34,42 +33,31 @@ func (t Time) Add(d time.Duration) Time { return t + Time(d) }
 // Sub reports the duration elapsed between u and t.
 func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
 
+// event is stored by value in the heap slice: a simulation schedules
+// millions of events per run, and a per-event heap allocation (plus the
+// interface boxing container/heap forces on every Push/Pop) dominated the
+// profile before the engine moved to this layout.
 type event struct {
-	at  Time
-	seq uint64
-	fn  func()
-}
-
-type eventHeap []*event
-
-func (h eventHeap) Len() int { return len(h) }
-func (h eventHeap) Less(i, j int) bool {
-	if h[i].at != h[j].at {
-		return h[i].at < h[j].at
-	}
-	return h[i].seq < h[j].seq
-}
-func (h eventHeap) Swap(i, j int)       { h[i], h[j] = h[j], h[i] }
-func (h *eventHeap) Push(x interface{}) { *h = append(*h, x.(*event)) }
-func (h *eventHeap) Pop() interface{} {
-	old := *h
-	n := len(old)
-	ev := old[n-1]
-	old[n-1] = nil
-	*h = old[:n-1]
-	return ev
+	at    Time
+	seq   uint64
+	fn    func()
+	timer *Timer // non-nil only for cancellable events (After)
 }
 
 // Engine is a discrete-event scheduler with a virtual clock and its own
 // seeded random source. The zero value is not usable; construct with New.
 type Engine struct {
-	now     Time
-	seq     uint64
-	events  eventHeap
-	rng     *rand.Rand
+	now    Time
+	seq    uint64
+	events []event // binary min-heap ordered by (at, seq)
+	rng    *rand.Rand
+	// ghost counts cancelled timers still sitting in the queue; they are
+	// discarded lazily when they reach the head.
+	ghost   int
 	stopped bool
 	// processed counts executed events; exposed for tests and for the
-	// benchmark harness to report event throughput.
+	// benchmark harness to report event throughput. Cancelled timers are
+	// skipped, never executed, and therefore never counted.
 	processed uint64
 }
 
@@ -90,8 +78,72 @@ func (e *Engine) Rand() *rand.Rand { return e.rng }
 // Processed reports how many events have executed so far.
 func (e *Engine) Processed() uint64 { return e.processed }
 
-// Pending reports how many events are waiting in the queue.
-func (e *Engine) Pending() int { return len(e.events) }
+// Pending reports how many live events are waiting in the queue. Cancelled
+// timers that have not yet been discarded are excluded.
+func (e *Engine) Pending() int { return len(e.events) - e.ghost }
+
+// less orders the heap by instant, then by scheduling order, which is the
+// engine's same-instant FIFO guarantee.
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.events[i], &e.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) push(ev event) {
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+}
+
+func (e *Engine) pop() event {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release fn/timer references to the GC
+	e.events = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && e.less(r, l) {
+			m = r
+		}
+		if !e.less(m, i) {
+			break
+		}
+		e.events[i], e.events[m] = e.events[m], e.events[i]
+		i = m
+	}
+	return top
+}
+
+// dropCancelled discards cancelled timers sitting at the head of the queue,
+// so that the head, if any, is always the next event that will actually
+// execute. Skipped events advance neither the clock nor Processed.
+func (e *Engine) dropCancelled() {
+	for len(e.events) > 0 {
+		t := e.events[0].timer
+		if t == nil || !t.cancelled {
+			return
+		}
+		e.pop()
+		e.ghost--
+	}
+}
 
 // Schedule runs fn after delay of virtual time. A negative delay is a
 // programming error and panics: allowing it would silently reorder the past.
@@ -109,41 +161,37 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, e.now))
 	}
 	e.seq++
-	heap.Push(&e.events, &event{at: t, seq: e.seq, fn: fn})
+	e.push(event{at: t, seq: e.seq, fn: fn})
 }
 
 // Timer is a cancellable scheduled callback.
 type Timer struct {
-	ev        *event
+	eng       *Engine
 	cancelled bool
+	fired     bool
 }
 
 // Cancel prevents the timer's callback from running. Cancelling an already
 // fired or already cancelled timer is a no-op, so callers need no bookkeeping.
 func (t *Timer) Cancel() {
-	if t == nil {
+	if t == nil || t.cancelled || t.fired {
 		return
 	}
 	t.cancelled = true
+	t.eng.ghost++
 }
 
 // After schedules fn like Schedule but returns a Timer handle that can
-// cancel it. Cancellation is lazy: the event stays queued and is skipped when
-// popped, which keeps the heap free of random deletions.
+// cancel it. Cancellation is lazy: the event stays queued and is discarded
+// when it reaches the head of the queue, which keeps the heap free of random
+// deletions. A cancelled event never executes and never counts as processed.
 func (e *Engine) After(delay time.Duration, fn func()) *Timer {
 	if delay < 0 {
 		panic(fmt.Sprintf("sim: negative delay %v", delay))
 	}
-	t := &Timer{}
+	t := &Timer{eng: e}
 	e.seq++
-	ev := &event{at: e.now.Add(delay), seq: e.seq}
-	ev.fn = func() {
-		if !t.cancelled {
-			fn()
-		}
-	}
-	t.ev = ev
-	heap.Push(&e.events, ev)
+	e.push(event{at: e.now.Add(delay), seq: e.seq, fn: fn, timer: t})
 	return t
 }
 
@@ -175,17 +223,22 @@ func (e *Engine) Every(first, interval, jitter time.Duration, fn func()) (cancel
 	return func() { stopped = true }
 }
 
-// Step executes the single earliest pending event and reports whether one
-// existed. The clock jumps to the event's instant.
+// Step executes the single earliest live pending event and reports whether
+// one existed. The clock jumps to the event's instant. Cancelled timers
+// encountered on the way are discarded silently.
 func (e *Engine) Step() bool {
-	for len(e.events) > 0 {
-		ev := heap.Pop(&e.events).(*event)
-		e.now = ev.at
-		e.processed++
-		ev.fn()
-		return true
+	e.dropCancelled()
+	if len(e.events) == 0 {
+		return false
 	}
-	return false
+	ev := e.pop()
+	if ev.timer != nil {
+		ev.timer.fired = true
+	}
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
 }
 
 // Run executes events until the clock would pass horizon or the queue
@@ -194,8 +247,9 @@ func (e *Engine) Step() bool {
 func (e *Engine) Run(horizon time.Duration) {
 	e.stopped = false
 	end := Time(horizon)
-	for len(e.events) > 0 && !e.stopped {
-		if e.events[0].at > end {
+	for !e.stopped {
+		e.dropCancelled()
+		if len(e.events) == 0 || e.events[0].at > end {
 			break
 		}
 		e.Step()

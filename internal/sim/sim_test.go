@@ -114,6 +114,71 @@ func TestTimerCancel(t *testing.T) {
 	nilTimer.Cancel() // nil cancel is a no-op
 }
 
+func TestCancelledTimerNotProcessed(t *testing.T) {
+	e := New(1)
+	e.Schedule(time.Second, func() {})
+	tm := e.After(2*time.Second, func() { t.Error("cancelled timer ran") })
+	e.Schedule(3*time.Second, func() {})
+	tm.Cancel()
+	e.RunUntilIdle()
+	if e.Processed() != 2 {
+		t.Errorf("Processed = %d, want 2 (cancelled timer must not count)", e.Processed())
+	}
+}
+
+func TestPendingExcludesCancelled(t *testing.T) {
+	e := New(1)
+	tm := e.After(time.Second, func() {})
+	e.Schedule(2*time.Second, func() {})
+	if e.Pending() != 2 {
+		t.Fatalf("Pending = %d, want 2", e.Pending())
+	}
+	tm.Cancel()
+	if e.Pending() != 1 {
+		t.Errorf("Pending = %d after cancel, want 1", e.Pending())
+	}
+	e.RunUntilIdle()
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after drain, want 0", e.Pending())
+	}
+}
+
+func TestCancelAfterFireIsNoOp(t *testing.T) {
+	e := New(1)
+	fired := 0
+	tm := e.After(time.Second, func() { fired++ })
+	e.Schedule(5*time.Second, func() {})
+	e.RunUntilIdle()
+	tm.Cancel() // already fired: must not corrupt the ghost count
+	if fired != 1 {
+		t.Fatalf("fired = %d, want 1", fired)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0 (cancel-after-fire leaked a ghost)", e.Pending())
+	}
+}
+
+func TestRunHorizonWithCancelledHead(t *testing.T) {
+	// A cancelled timer at the head of the queue must not let Run execute
+	// a live event that lies beyond the horizon.
+	e := New(1)
+	tm := e.After(time.Second, func() {})
+	fired := false
+	e.Schedule(3*time.Second, func() { fired = true })
+	tm.Cancel()
+	e.Run(2 * time.Second)
+	if fired {
+		t.Error("event beyond horizon executed (cancelled head mishandled)")
+	}
+	if e.Now() != Time(2*time.Second) {
+		t.Errorf("clock = %v, want 2s", e.Now())
+	}
+	e.Run(5 * time.Second)
+	if !fired {
+		t.Error("event not executed after horizon extension")
+	}
+}
+
 func TestTimerFires(t *testing.T) {
 	e := New(1)
 	fired := false

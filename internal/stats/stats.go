@@ -14,12 +14,15 @@ import (
 	"sort"
 )
 
-// Accumulator tracks count, sum, min, max and mean of a stream of values in
-// O(1) space. The zero value is ready to use.
+// Accumulator tracks count, sum, min, max, mean and variance of a stream of
+// values in O(1) space. The zero value is ready to use. Variance uses
+// Welford's online recurrence, which stays numerically stable where the
+// naive sum-of-squares formula cancels catastrophically.
 type Accumulator struct {
 	n        int64
 	sum      float64
 	min, max float64
+	mean, m2 float64
 }
 
 // Add folds v into the accumulator.
@@ -36,6 +39,9 @@ func (a *Accumulator) Add(v float64) {
 	}
 	a.n++
 	a.sum += v
+	delta := v - a.mean
+	a.mean += delta / float64(a.n)
+	a.m2 += delta * (v - a.mean)
 }
 
 // N reports the number of values seen.
@@ -68,9 +74,31 @@ func (a *Accumulator) Max() float64 {
 	return a.max
 }
 
+// Variance reports the unbiased sample variance, or 0 when fewer than two
+// values have been seen (a single trial carries no spread information).
+func (a *Accumulator) Variance() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.m2 / float64(a.n-1)
+}
+
+// StdDev reports the sample standard deviation.
+func (a *Accumulator) StdDev() float64 { return math.Sqrt(a.Variance()) }
+
+// StdErr reports the standard error of the mean, StdDev/sqrt(n) — the ±
+// half-width printed in every replicated sweep table.
+func (a *Accumulator) StdErr() float64 {
+	if a.n < 2 {
+		return 0
+	}
+	return a.StdDev() / math.Sqrt(float64(a.n))
+}
+
 // Merge folds another accumulator into a. Merging is associative and
 // commutative, which is what lets the parallel runner aggregate per-worker
-// partial results in any completion order.
+// partial results in any completion order. Variance merges by the parallel
+// (Chan et al.) update.
 func (a *Accumulator) Merge(b Accumulator) {
 	if b.n == 0 {
 		return
@@ -85,7 +113,11 @@ func (a *Accumulator) Merge(b Accumulator) {
 	if b.max > a.max {
 		a.max = b.max
 	}
-	a.n += b.n
+	n := a.n + b.n
+	delta := b.mean - a.mean
+	a.m2 += b.m2 + delta*delta*float64(a.n)*float64(b.n)/float64(n)
+	a.mean = (float64(a.n)*a.mean + float64(b.n)*b.mean) / float64(n)
+	a.n = n
 	a.sum += b.sum
 }
 

@@ -30,6 +30,55 @@ func TestAccumulatorBasics(t *testing.T) {
 	}
 }
 
+func TestAccumulatorVariance(t *testing.T) {
+	var a Accumulator
+	if a.Variance() != 0 || a.StdDev() != 0 || a.StdErr() != 0 {
+		t.Error("empty accumulator should report zero spread")
+	}
+	a.Add(10)
+	if a.Variance() != 0 || a.StdErr() != 0 {
+		t.Error("single value carries no spread information")
+	}
+	a.Add(14)
+	// Sample variance of {10, 14} is 8; stderr = sqrt(8)/sqrt(2) = 2.
+	if got := a.Variance(); math.Abs(got-8) > 1e-12 {
+		t.Errorf("variance = %v, want 8", got)
+	}
+	if got := a.StdErr(); math.Abs(got-2) > 1e-12 {
+		t.Errorf("stderr = %v, want 2", got)
+	}
+
+	// Welford must survive a large offset that would wreck naive
+	// sum-of-squares: same spread, shifted by 1e9.
+	var b Accumulator
+	for _, v := range []float64{1e9 + 10, 1e9 + 14} {
+		b.Add(v)
+	}
+	if got := b.Variance(); math.Abs(got-8) > 1e-3 {
+		t.Errorf("offset variance = %v, want 8", got)
+	}
+}
+
+func TestAccumulatorMergeVariance(t *testing.T) {
+	xs := []float64{3, 7, 1, 9, 4, 6, 2, 8}
+	var whole, left, right Accumulator
+	for i, x := range xs {
+		whole.Add(x)
+		if i < 3 {
+			left.Add(x)
+		} else {
+			right.Add(x)
+		}
+	}
+	left.Merge(right)
+	if math.Abs(left.Variance()-whole.Variance()) > 1e-9 {
+		t.Errorf("merged variance = %v, want %v", left.Variance(), whole.Variance())
+	}
+	if math.Abs(left.StdErr()-whole.StdErr()) > 1e-9 {
+		t.Errorf("merged stderr = %v, want %v", left.StdErr(), whole.StdErr())
+	}
+}
+
 func TestAccumulatorMergeEmpty(t *testing.T) {
 	var a, b Accumulator
 	a.Add(5)

@@ -1,0 +1,291 @@
+// Package sweep fans replicated experiment batteries — applications ×
+// seeds × optional profile variants — through the parallel runner and
+// aggregates the per-run summaries into the paper's tables with error bars.
+//
+// The paper's tables print one number per (property, application) cell from
+// a single measurement campaign; Silverston & Fourmaux's comparison work
+// and Clegg et al.'s locality studies both show those numbers are noisy
+// across trials. A sweep replays each experiment under n seeds and renders
+// every cell as mean ± standard error across trials.
+//
+// Memory is bounded by construction: each worker reduces its finished
+// Result to an experiment.Summary (a few hundred bytes) before returning,
+// so a 3-app × 20-seed battery never holds more than workers full Results
+// at once, not 60.
+package sweep
+
+import (
+	"fmt"
+	"time"
+
+	"napawine/internal/apps"
+	"napawine/internal/experiment"
+	"napawine/internal/overlay"
+	"napawine/internal/report"
+	"napawine/internal/runner"
+	"napawine/internal/stats"
+)
+
+// Variant derives an ablation profile from each application's stock
+// profile. The zero Variant (empty name, nil mutate) means "stock profile".
+type Variant struct {
+	// Name suffixes the application label in every table ("TVAnts/blind").
+	Name string
+	// Mutate adjusts a fresh copy of the stock profile; nil leaves it stock.
+	Mutate func(*overlay.Profile)
+}
+
+// Spec parameterizes one sweep.
+type Spec struct {
+	// Apps lists the applications to sweep; empty selects the paper's three.
+	Apps []string
+	// Seeds lists the trial seeds; empty selects Trials sequential seeds
+	// starting at BaseSeed (or 1 when BaseSeed is 0).
+	Seeds []int64
+	// BaseSeed and Trials generate Seeds when Seeds is empty.
+	BaseSeed int64
+	Trials   int
+
+	// Duration is the virtual run length per trial (0 = per-app default).
+	Duration time.Duration
+	// PeerFactor scales each application's default background population
+	// exactly like napawine.Scale (0 selects 1.0, floor of 50 peers).
+	PeerFactor float64
+	// Workers bounds parallel trials (0 = GOMAXPROCS).
+	Workers int
+
+	// Variants, when non-empty, replaces the stock run of every app with
+	// one run per variant. Include a zero Variant to keep the stock run.
+	Variants []Variant
+}
+
+// seeds resolves the trial seed list.
+func (s Spec) seeds() []int64 {
+	if len(s.Seeds) > 0 {
+		return s.Seeds
+	}
+	base := s.BaseSeed
+	if base == 0 {
+		base = 1
+	}
+	n := s.Trials
+	if n <= 0 {
+		n = 1
+	}
+	return runner.Seeds(base, n)
+}
+
+// apps resolves the application list.
+func (s Spec) apps() []string {
+	if len(s.Apps) > 0 {
+		return s.Apps
+	}
+	return []string{"PPLive", "SopCast", "TVAnts"}
+}
+
+// variants resolves the variant list; the stock run is a zero Variant.
+func (s Spec) variants() []Variant {
+	if len(s.Variants) > 0 {
+		return s.Variants
+	}
+	return []Variant{{}}
+}
+
+// Group is one (application, variant) battery: its label and the per-seed
+// summaries in seed order.
+type Group struct {
+	App     string
+	Variant string
+	// Label is App, or "App/Variant" for ablation groups.
+	Label     string
+	Summaries []experiment.Summary
+}
+
+// Result is everything a sweep produces.
+type Result struct {
+	Spec   Spec
+	Seeds  []int64
+	Groups []Group
+}
+
+// Trials reports the number of seeds per group.
+func (r *Result) Trials() int { return len(r.Seeds) }
+
+// Run executes the sweep: every (app, variant, seed) triple is one
+// independent experiment dispatched through runner.Parallel; each is
+// reduced to a Summary inside the worker so the full Result is released
+// before the next trial starts on that worker.
+func Run(spec Spec) (*Result, error) {
+	seeds := spec.seeds()
+	appList := spec.apps()
+	variants := spec.variants()
+
+	type task struct {
+		group int
+		app   string
+		vr    Variant
+		seed  int64
+	}
+	var groups []Group
+	var tasks []task
+	for _, app := range appList {
+		// Validate the app name once up front, before burning CPU on a
+		// battery that would fail on its first task anyway.
+		if _, err := apps.ByName(app); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		for _, vr := range variants {
+			label := app
+			if vr.Name != "" {
+				label = app + "/" + vr.Name
+			}
+			g := len(groups)
+			groups = append(groups, Group{App: app, Variant: vr.Name, Label: label})
+			for _, seed := range seeds {
+				tasks = append(tasks, task{group: g, app: app, vr: vr, seed: seed})
+			}
+		}
+	}
+
+	summaries, err := runner.Parallel(tasks, spec.Workers, func(t task) (experiment.Summary, error) {
+		cfg := experiment.Default(t.app)
+		cfg.Seed = t.seed
+		cfg.World.Seed = t.seed
+		if spec.Duration > 0 {
+			cfg.Duration = spec.Duration
+		}
+		cfg.ScalePeers(spec.PeerFactor)
+		if t.vr.Mutate != nil {
+			base, err := apps.ByName(t.app)
+			if err != nil {
+				return experiment.Summary{}, err
+			}
+			cfg.Profile = apps.Variant(base, t.vr.Name, t.vr.Mutate)
+		}
+		r, err := experiment.Run(cfg)
+		if err != nil {
+			return experiment.Summary{}, fmt.Errorf("%s seed %d: %w", t.app, t.seed, err)
+		}
+		return experiment.Summarize(r), nil
+	})
+	if err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
+	for i, t := range tasks {
+		groups[t.group].Summaries = append(groups[t.group].Summaries, summaries[i])
+	}
+	res := &Result{Spec: spec, Seeds: seeds, Groups: groups}
+	return res, nil
+}
+
+// columnStat folds one per-run value across a group's trials.
+func columnStat(g Group, get func(experiment.Summary) float64) stats.Accumulator {
+	var acc stats.Accumulator
+	for _, s := range g.Summaries {
+		acc.Add(get(s))
+	}
+	return acc
+}
+
+func meanErr(acc stats.Accumulator, decimals int) string {
+	return report.MeanErr(acc.Mean(), acc.StdErr(), decimals)
+}
+
+// TableII renders the aggregated experiment-summary table: each cell is the
+// mean ± stderr across seeds of the per-run probe mean (or max).
+func (r *Result) TableII() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("TABLE II — Summary of experiments (mean±stderr over %d seeds)", r.Trials()),
+		"App", "RX kbps mean", "RX kbps max", "TX kbps mean", "TX kbps max",
+		"All peers mean", "All peers max", "Contrib RX mean", "Contrib RX max",
+		"Contrib TX mean", "Contrib TX max")
+	cols := []func(experiment.Summary) float64{
+		func(s experiment.Summary) float64 { return s.RxKbpsMean },
+		func(s experiment.Summary) float64 { return s.RxKbpsMax },
+		func(s experiment.Summary) float64 { return s.TxKbpsMean },
+		func(s experiment.Summary) float64 { return s.TxKbpsMax },
+		func(s experiment.Summary) float64 { return s.AllPeersMean },
+		func(s experiment.Summary) float64 { return s.AllPeersMax },
+		func(s experiment.Summary) float64 { return s.ContribRxMean },
+		func(s experiment.Summary) float64 { return s.ContribRxMax },
+		func(s experiment.Summary) float64 { return s.ContribTxMean },
+		func(s experiment.Summary) float64 { return s.ContribTxMax },
+	}
+	for _, g := range r.Groups {
+		cells := make([]string, 0, len(cols)+1)
+		cells = append(cells, g.Label)
+		for _, get := range cols {
+			cells = append(cells, meanErr(columnStat(g, get), 0))
+		}
+		t.Add(cells...)
+	}
+	return t
+}
+
+// TableIII renders the aggregated self-induced-bias table.
+func (r *Result) TableIII() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("TABLE III — NAPA-WINE self-induced bias (mean±stderr over %d seeds)", r.Trials()),
+		"App", "Contrib Peer%", "Contrib Bytes%", "All Peer%", "All Bytes%")
+	cols := []func(experiment.Summary) float64{
+		func(s experiment.Summary) float64 { return s.SelfBiasContrib.PeerPct },
+		func(s experiment.Summary) float64 { return s.SelfBiasContrib.BytePct },
+		func(s experiment.Summary) float64 { return s.SelfBiasAll.PeerPct },
+		func(s experiment.Summary) float64 { return s.SelfBiasAll.BytePct },
+	}
+	for _, g := range r.Groups {
+		cells := make([]string, 0, len(cols)+1)
+		cells = append(cells, g.Label)
+		for _, get := range cols {
+			cells = append(cells, meanErr(columnStat(g, get), 1))
+		}
+		t.Add(cells...)
+	}
+	return t
+}
+
+// TableIV renders the aggregated network-awareness table. A cell aggregates
+// only the trials in which it was measurable; if no trial measured it the
+// cell prints the paper's dash.
+func (r *Result) TableIV() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("TABLE IV — Network awareness (mean±stderr over %d seeds)", r.Trials()),
+		append([]string{"Net", "App"}, experiment.TableIVColumns[:]...)...)
+	for _, prop := range []string{"BW", "AS", "CC", "NET", "HOP"} {
+		for _, g := range r.Groups {
+			cells := make([]string, 0, 10)
+			cells = append(cells, prop, g.Label)
+			for col := 0; col < 8; col++ {
+				var acc stats.Accumulator
+				for _, s := range g.Summaries {
+					for _, cell := range s.TableIV {
+						if cell.Property == prop && cell.Valid[col] {
+							acc.Add(cell.Vals[col])
+						}
+					}
+				}
+				cells = append(cells,
+					report.MeanErrOrDash(acc.Mean(), acc.StdErr(), 1, acc.N() > 0))
+			}
+			t.Add(cells...)
+		}
+	}
+	return t
+}
+
+// HealthTable renders the sweep's run-health panel: hop medians, playout
+// continuity and event throughput per group — the replicated version of the
+// single-run diagnostics cmd/napawine prints under Table IV.
+func (r *Result) HealthTable() *report.Table {
+	t := report.NewTable(
+		fmt.Sprintf("Sweep health (mean±stderr over %d seeds)", r.Trials()),
+		"App", "Hop median", "Continuity", "Events/run", "Unlocated")
+	for _, g := range r.Groups {
+		hop := columnStat(g, func(s experiment.Summary) float64 { return s.HopMedian })
+		cont := columnStat(g, func(s experiment.Summary) float64 { return s.MeanContinuity })
+		ev := columnStat(g, func(s experiment.Summary) float64 { return float64(s.Events) })
+		unl := columnStat(g, func(s experiment.Summary) float64 { return float64(s.Unlocated) })
+		t.Add(g.Label, meanErr(hop, 1), meanErr(cont, 3), meanErr(ev, 0), meanErr(unl, 1))
+	}
+	return t
+}

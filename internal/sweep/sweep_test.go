@@ -1,0 +1,195 @@
+package sweep
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"napawine/internal/experiment"
+	"napawine/internal/overlay"
+	"napawine/internal/policy"
+)
+
+// synthetic builds a Result with hand-written summaries so aggregation can
+// be checked against exact arithmetic, no simulation involved.
+func synthetic() *Result {
+	mk := func(seed int64, base float64) experiment.Summary {
+		s := experiment.Summary{App: "PPLive", Seed: seed}
+		s.RxKbpsMean = base
+		s.RxKbpsMax = base * 2
+		s.SelfBiasContrib.PeerPct = base
+		s.SelfBiasContrib.BytePct = base
+		s.SelfBiasAll.PeerPct = base
+		s.SelfBiasAll.BytePct = base
+		cell := experiment.SummaryCell{Property: "AS"}
+		for i := range cell.Vals {
+			cell.Vals[i] = base
+			cell.Valid[i] = true
+		}
+		dead := experiment.SummaryCell{Property: "BW"} // never valid
+		s.TableIV = []experiment.SummaryCell{cell, dead}
+		return s
+	}
+	return &Result{
+		Seeds: []int64{1, 2},
+		Groups: []Group{{
+			App: "PPLive", Label: "PPLive",
+			Summaries: []experiment.Summary{mk(1, 10), mk(2, 14)},
+		}},
+	}
+}
+
+func TestAggregationExact(t *testing.T) {
+	res := synthetic()
+	// Two trials 10 and 14: mean 12, sample sd sqrt(8), stderr 2.0.
+	var b strings.Builder
+	if err := res.TableII().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "12±2") {
+		t.Errorf("Table II should contain RX mean cell 12±2:\n%s", out)
+	}
+	if !strings.Contains(out, "24±4") {
+		t.Errorf("Table II should contain RX max cell 24±4:\n%s", out)
+	}
+
+	b.Reset()
+	if err := res.TableIII().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "12.0±2.0") {
+		t.Errorf("Table III should contain 12.0±2.0:\n%s", b.String())
+	}
+
+	b.Reset()
+	if err := res.TableIV().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out = b.String()
+	if !strings.Contains(out, "12.0±2.0") {
+		t.Errorf("Table IV AS row should aggregate to 12.0±2.0:\n%s", out)
+	}
+	// The BW row had no valid trials in any column: all dashes.
+	for _, line := range strings.Split(out, "\n") {
+		if strings.HasPrefix(line, "BW") {
+			if strings.Count(line, "-") < 8 {
+				t.Errorf("BW row should be all dashes: %q", line)
+			}
+		}
+	}
+}
+
+func TestSingleTrialHasZeroError(t *testing.T) {
+	res := synthetic()
+	res.Groups[0].Summaries = res.Groups[0].Summaries[:1]
+	res.Seeds = res.Seeds[:1]
+	var b strings.Builder
+	if err := res.TableIII().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(b.String(), "10.0±0.0") {
+		t.Errorf("single trial should print ±0.0:\n%s", b.String())
+	}
+}
+
+func TestSpecResolution(t *testing.T) {
+	var s Spec
+	if got := s.apps(); len(got) != 3 || got[0] != "PPLive" {
+		t.Errorf("default apps = %v", got)
+	}
+	if got := s.seeds(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("default seeds = %v", got)
+	}
+	s = Spec{BaseSeed: 7, Trials: 3}
+	if got := s.seeds(); len(got) != 3 || got[0] != 7 || got[2] != 9 {
+		t.Errorf("seeds = %v, want [7 8 9]", got)
+	}
+	s = Spec{Seeds: []int64{42}}
+	if got := s.seeds(); len(got) != 1 || got[0] != 42 {
+		t.Errorf("explicit seeds = %v", got)
+	}
+	if got := s.variants(); len(got) != 1 || got[0].Name != "" {
+		t.Errorf("default variants = %v", got)
+	}
+}
+
+func TestSweepUnknownApp(t *testing.T) {
+	_, err := Run(Spec{Apps: []string{"Joost"}, Trials: 1})
+	if err == nil || !strings.Contains(err.Error(), "Joost") {
+		t.Errorf("unknown app should fail fast, got %v", err)
+	}
+}
+
+func TestSweepVariantsGroupingAndLabels(t *testing.T) {
+	res, err := Run(Spec{
+		Apps:       []string{"TVAnts"},
+		Seeds:      []int64{5},
+		Duration:   20 * time.Second,
+		PeerFactor: 0.01, // floors at 50 peers
+		Variants: []Variant{
+			{}, // stock
+			{Name: "blind", Mutate: func(p *overlay.Profile) { p.DiscoveryWeight = policy.Uniform{} }},
+		},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Groups) != 2 {
+		t.Fatalf("groups = %d, want 2", len(res.Groups))
+	}
+	if res.Groups[0].Label != "TVAnts" || res.Groups[1].Label != "TVAnts/blind" {
+		t.Errorf("labels = %q, %q", res.Groups[0].Label, res.Groups[1].Label)
+	}
+	for _, g := range res.Groups {
+		if len(g.Summaries) != 1 {
+			t.Errorf("group %s has %d summaries, want 1", g.Label, len(g.Summaries))
+		}
+		if g.Summaries[0].Events == 0 {
+			t.Errorf("group %s summary has no events", g.Label)
+		}
+	}
+}
+
+// renderAll concatenates every table a sweep renders, for byte-comparison.
+func renderAll(t *testing.T, res *Result) string {
+	t.Helper()
+	var b strings.Builder
+	for _, err := range []error{
+		res.TableII().Render(&b),
+		res.TableIII().Render(&b),
+		res.TableIV().Render(&b),
+		res.HealthTable().Render(&b),
+	} {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	return b.String()
+}
+
+func TestSweepDeterministic(t *testing.T) {
+	spec := Spec{
+		Apps:       []string{"SopCast", "TVAnts"},
+		BaseSeed:   11,
+		Trials:     2,
+		Duration:   30 * time.Second,
+		PeerFactor: 0.05,
+		Workers:    4,
+	}
+	a, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := Run(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ra, rb := renderAll(t, a), renderAll(t, b)
+	if ra != rb {
+		t.Errorf("same spec produced different tables:\n--- first ---\n%s\n--- second ---\n%s", ra, rb)
+	}
+	if !strings.Contains(ra, "±") {
+		t.Errorf("aggregated tables should carry error bars:\n%s", ra)
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"napawine/internal/policy"
 	"napawine/internal/report"
 	"napawine/internal/runner"
+	"napawine/internal/sweep"
 )
 
 // Re-exported experiment types.
@@ -127,12 +128,7 @@ func RunAll(s Scale) ([]*Result, error) {
 		if s.Duration > 0 {
 			cfg.Duration = s.Duration
 		}
-		if s.PeerFactor > 0 {
-			cfg.World.Peers = int(float64(cfg.World.Peers) * s.PeerFactor)
-			if cfg.World.Peers < 50 {
-				cfg.World.Peers = 50
-			}
-		}
+		cfg.ScalePeers(s.PeerFactor)
 		cfgs = append(cfgs, cfg)
 	}
 	results, err := runner.Parallel(cfgs, s.Workers, experiment.Run)
@@ -142,6 +138,33 @@ func RunAll(s Scale) ([]*Result, error) {
 	experiment.SortResults(results)
 	return results, nil
 }
+
+// Re-exported sweep types: the replicated multi-seed battery layer.
+type (
+	// SweepSpec parameterizes a replicated battery (apps × seeds ×
+	// optional profile variants).
+	SweepSpec = sweep.Spec
+	// SweepVariant derives an ablation profile inside a sweep.
+	SweepVariant = sweep.Variant
+	// SweepResult aggregates per-seed summaries and renders Tables II–IV
+	// with mean ± stderr error bars.
+	SweepResult = sweep.Result
+	// RunSummary is the bounded-memory per-run reduction a sweep retains.
+	RunSummary = experiment.Summary
+)
+
+// Sweep executes a replicated battery in parallel: one independent
+// experiment per (app, variant, seed), each reduced to a RunSummary as it
+// completes so memory stays bounded by the worker count. The same spec
+// reproduces byte-identical aggregated tables.
+func Sweep(spec SweepSpec) (*SweepResult, error) { return sweep.Run(spec) }
+
+// Seeds builds n sequential trial seeds starting at base, the conventional
+// input for SweepSpec.Seeds.
+func Seeds(base int64, n int) []int64 { return runner.Seeds(base, n) }
+
+// Summarize reduces one Result to its sweep summary.
+func Summarize(r *Result) RunSummary { return experiment.Summarize(r) }
 
 // TableII builds the experiment-summary table.
 func TableII(results []*Result) *Table { return experiment.TableII(results) }
