@@ -9,9 +9,12 @@
 //	napawine -exp hopsweep               # A2 ablation: HOP threshold sweep
 //	napawine -exp table1                 # testbed inventory (no simulation)
 //	napawine -seeds 5 -workers 4         # replicated sweep, tables with ±stderr
+//	napawine -scenario flashcrowd        # inject a workload scenario + time series
+//	napawine -scenario-list              # show the scenario registry
 //
 // Deterministic: the same -seed regenerates identical tables; the same
-// -seed/-seeds pair regenerates identical sweep tables.
+// -seed/-seeds pair regenerates identical sweep tables — scenario or not,
+// and regardless of -workers.
 package main
 
 import (
@@ -26,57 +29,121 @@ import (
 	"napawine/internal/world"
 )
 
+// validExps lists the accepted -exp values, in help order.
+var validExps = []string{"table1", "table2", "table3", "table4", "fig1", "fig2", "hopsweep", "all"}
+
+// validateArgs rejects unknown -exp, application and -scenario values with
+// an error that lists the valid choices, before any simulation starts. A
+// typo must be a loud usage error, never a silently empty run.
+func validateArgs(exp string, appList []string, scenarioName string) error {
+	ok := false
+	for _, v := range validExps {
+		if exp == v {
+			ok = true
+			break
+		}
+	}
+	if !ok {
+		return fmt.Errorf("unknown -exp %q (valid: %s)", exp, strings.Join(validExps, ", "))
+	}
+	if len(appList) == 0 {
+		return fmt.Errorf("empty -apps list (valid: %s)", strings.Join(napawine.Apps(), ", "))
+	}
+	for _, a := range appList {
+		if _, err := napawine.ProfileOf(a); err != nil {
+			return fmt.Errorf("unknown app %q (valid: %s)", a, strings.Join(napawine.Apps(), ", "))
+		}
+	}
+	if scenarioName != "" {
+		if _, err := napawine.ScenarioByName(scenarioName); err != nil {
+			return fmt.Errorf("unknown -scenario %q (valid: %s)",
+				scenarioName, strings.Join(napawine.ScenarioNames(), ", "))
+		}
+		if exp == "table1" {
+			return fmt.Errorf("-scenario runs no simulation under -exp table1 (the testbed inventory is static)")
+		}
+	}
+	return nil
+}
+
+// parseApps splits and dedups the -apps flag, dropping empty entries.
+func parseApps(appsFlag string) []string {
+	seen := map[string]bool{}
+	var out []string
+	for _, a := range strings.Split(appsFlag, ",") {
+		a = strings.TrimSpace(a)
+		if a == "" || seen[a] {
+			continue
+		}
+		seen[a] = true
+		out = append(out, a)
+	}
+	return out
+}
+
+// scenarioList renders the registry for -scenario-list.
+func scenarioList() string {
+	var b strings.Builder
+	b.WriteString("registered scenarios:\n")
+	for _, name := range napawine.ScenarioNames() {
+		s, err := napawine.ScenarioByName(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-11s %s\n", name, s.Description)
+	}
+	return b.String()
+}
+
 func main() {
 	var (
-		exp      = flag.String("exp", "all", "experiment: table1|table2|table3|table4|fig1|fig2|hopsweep|all")
-		appsFlag = flag.String("apps", "PPLive,SopCast,TVAnts", "comma-separated application list")
-		seed     = flag.Int64("seed", 1, "simulation seed (sweep: first trial seed)")
-		seeds    = flag.Int("seeds", 1, "trial seeds per app; >1 runs a replicated sweep with ±stderr tables")
-		duration = flag.Duration("duration", 5*time.Minute, "virtual experiment duration")
-		factor   = flag.Float64("scale", 1.0, "background population scale factor")
-		workers  = flag.Int("workers", 0, "parallel experiments (0 = GOMAXPROCS)")
-		csv      = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		exp       = flag.String("exp", "all", "experiment: "+strings.Join(validExps, "|"))
+		appsFlag  = flag.String("apps", "PPLive,SopCast,TVAnts", "comma-separated application list")
+		seed      = flag.Int64("seed", 1, "simulation seed (sweep: first trial seed)")
+		seeds     = flag.Int("seeds", 1, "trial seeds per app; >1 runs a replicated sweep with ±stderr tables")
+		duration  = flag.Duration("duration", 5*time.Minute, "virtual experiment duration")
+		factor    = flag.Float64("scale", 1.0, "background population scale factor")
+		workers   = flag.Int("workers", 0, "parallel experiments (0 = GOMAXPROCS)")
+		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		scn       = flag.String("scenario", "", "workload scenario to inject (see -scenario-list)")
+		listScens = flag.Bool("scenario-list", false, "list registered workload scenarios and exit")
 	)
 	flag.Parse()
+
+	if *listScens {
+		fmt.Print(scenarioList())
+		return
+	}
+
+	appList := parseApps(*appsFlag)
+	if err := validateArgs(*exp, appList, *scn); err != nil {
+		fmt.Fprintln(os.Stderr, "napawine:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *exp == "table1" {
 		renderTableI(*csv)
 		return
 	}
 
-	wanted := map[string]bool{}
-	appList := []string{}
-	for _, a := range strings.Split(*appsFlag, ",") {
-		a = strings.TrimSpace(a)
-		if wanted[a] {
-			continue
-		}
-		wanted[a] = true
-		appList = append(appList, a)
-	}
-
 	if *seeds > 1 {
-		runSweep(appList, *seed, *seeds, *duration, *factor, *workers, *exp, *csv)
+		runSweep(appList, *seed, *seeds, *duration, *factor, *workers, *exp, *csv, *scn)
 		return
 	}
 
 	fmt.Fprintf(os.Stderr, "running %s for %v (seed %d, scale %.2f)...\n",
-		*appsFlag, *duration, *seed, *factor)
+		strings.Join(appList, ","), *duration, *seed, *factor)
+	if *scn != "" {
+		fmt.Fprintf(os.Stderr, "scenario: %s\n", *scn)
+	}
 	start := time.Now()
-	all, err := napawine.RunAll(napawine.Scale{
+	results, err := napawine.RunAll(napawine.Scale{
 		Seed: *seed, Duration: *duration, PeerFactor: *factor, Workers: *workers,
+		Scenario: *scn, Apps: appList,
 	})
 	if err != nil {
 		fatal(err)
-	}
-	results := all[:0:0]
-	for _, r := range all {
-		if wanted[r.App] {
-			results = append(results, r)
-		}
-	}
-	if len(results) == 0 {
-		fatal(fmt.Errorf("no results for apps %q", *appsFlag))
 	}
 	var events uint64
 	for _, r := range results {
@@ -134,17 +201,25 @@ func main() {
 			render(t)
 		}
 	}
+	if *scn != "" {
+		if series := napawine.SeriesTable(results); series != nil {
+			render(series)
+		}
+	}
 }
 
 // runSweep executes the replicated multi-seed battery and renders the
 // aggregated (mean ± stderr) tables. Figures and the hop sweep are
 // single-run reductions and are not replicated here.
-func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, workers int, exp string, csv bool) {
+func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, workers int, exp string, csv bool, scn string) {
 	if exp == "fig1" || exp == "fig2" || exp == "hopsweep" {
 		fatal(fmt.Errorf("-exp %s is a single-run reduction; drop -seeds or use -seeds 1", exp))
 	}
 	fmt.Fprintf(os.Stderr, "sweeping %s × %d seeds for %v (base seed %d, scale %.2f)...\n",
 		strings.Join(appList, ","), trials, duration, seed, factor)
+	if scn != "" {
+		fmt.Fprintf(os.Stderr, "scenario: %s\n", scn)
+	}
 	start := time.Now()
 	res, err := napawine.Sweep(napawine.SweepSpec{
 		Apps:       appList,
@@ -153,6 +228,7 @@ func runSweep(appList []string, seed int64, trials int, duration time.Duration, 
 		Duration:   duration,
 		PeerFactor: factor,
 		Workers:    workers,
+		Scenario:   scn,
 	})
 	if err != nil {
 		fatal(err)
@@ -182,6 +258,11 @@ func runSweep(appList []string, seed int64, trials int, duration time.Duration, 
 	if show("table4") {
 		render(res.TableIV())
 		render(res.HealthTable())
+	}
+	if scn != "" {
+		if series := res.SeriesTable(); series != nil {
+			render(series)
+		}
 	}
 }
 

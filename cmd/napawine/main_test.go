@@ -1,0 +1,90 @@
+package main
+
+import (
+	"strings"
+	"testing"
+)
+
+func TestValidateArgsAcceptsValidCombos(t *testing.T) {
+	for _, tc := range []struct {
+		exp      string
+		apps     []string
+		scenario string
+	}{
+		{"all", []string{"PPLive", "SopCast", "TVAnts"}, ""},
+		{"table4", []string{"TVAnts"}, "flashcrowd"},
+		{"table1", []string{"PPLive"}, ""},
+		{"hopsweep", []string{"SopCast"}, "steady"},
+	} {
+		if err := validateArgs(tc.exp, tc.apps, tc.scenario); err != nil {
+			t.Errorf("validateArgs(%q, %v, %q) = %v, want nil", tc.exp, tc.apps, tc.scenario, err)
+		}
+	}
+}
+
+func TestValidateArgsRejectsUnknownExp(t *testing.T) {
+	err := validateArgs("tabel4", []string{"PPLive"}, "")
+	if err == nil {
+		t.Fatal("typo'd -exp accepted")
+	}
+	for _, v := range validExps {
+		if !strings.Contains(err.Error(), v) {
+			t.Errorf("usage error %q does not list valid exp %q", err, v)
+		}
+	}
+}
+
+func TestValidateArgsRejectsUnknownApp(t *testing.T) {
+	err := validateArgs("all", []string{"PPLive", "Joost"}, "")
+	if err == nil {
+		t.Fatal("unknown app accepted")
+	}
+	for _, want := range []string{"Joost", "PPLive", "SopCast", "TVAnts"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("usage error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestValidateArgsRejectsEmptyApps(t *testing.T) {
+	if err := validateArgs("all", nil, ""); err == nil {
+		t.Error("empty app list accepted")
+	}
+}
+
+func TestValidateArgsRejectsUnknownScenario(t *testing.T) {
+	err := validateArgs("all", []string{"PPLive"}, "worldcup")
+	if err == nil {
+		t.Fatal("unknown scenario accepted")
+	}
+	for _, want := range []string{"worldcup", "steady", "flashcrowd", "diurnal", "partition"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("usage error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestParseApps(t *testing.T) {
+	got := parseApps(" TVAnts, PPLive,TVAnts,, ")
+	if len(got) != 2 || got[0] != "TVAnts" || got[1] != "PPLive" {
+		t.Errorf("parseApps = %v, want [TVAnts PPLive]", got)
+	}
+	if got := parseApps(""); got != nil {
+		t.Errorf("parseApps(\"\") = %v, want nil", got)
+	}
+}
+
+func TestScenarioListNamesEveryScenario(t *testing.T) {
+	out := scenarioList()
+	for _, name := range []string{"steady", "flashcrowd", "diurnal", "partition", "outage", "throttle"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-scenario-list output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestValidateArgsRejectsScenarioWithTable1(t *testing.T) {
+	if err := validateArgs("table1", []string{"PPLive"}, "flashcrowd"); err == nil {
+		t.Error("-scenario with -exp table1 accepted (it would be silently ignored)")
+	}
+}

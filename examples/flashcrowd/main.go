@@ -1,0 +1,55 @@
+// Flashcrowd: replay the built-in flash-crowd scenario against a small
+// TVAnts-like swarm and watch its locality bias respond in the per-bucket
+// time series — the dynamic view the paper's hour-long averages cannot show.
+//
+//	go run ./examples/flashcrowd
+package main
+
+import (
+	"fmt"
+	"log"
+	"os"
+	"time"
+
+	"napawine"
+)
+
+func main() {
+	cfg := napawine.DefaultConfig(napawine.TVAnts)
+	cfg.Seed = 7
+	cfg.Duration = 2 * time.Minute
+	cfg.World.Peers = 150
+
+	// The flash crowd: a deferred peer pool the size of the base audience
+	// bursts in at ~25% of the run; half the swarm walks away near the end.
+	scn, err := napawine.ScenarioByName("flashcrowd")
+	if err != nil {
+		log.Fatal(err)
+	}
+	scn.Buckets = 16 // finer sampling than the default 12
+	cfg.Scenario = scn
+
+	fmt.Printf("running scenario %q over a 2-virtual-minute TVAnts swarm...\n", scn.Name)
+	fmt.Printf("  %s\n", scn.Description)
+	start := time.Now()
+	result, err := napawine.Run(cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Printf("done in %v: %d events, mean continuity %.3f\n\n",
+		time.Since(start).Round(time.Millisecond), result.Events, result.MeanContinuity)
+
+	results := []*napawine.Result{result}
+	if err := napawine.SeriesTable(results).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println()
+	if err := napawine.TableIV(results).Render(os.Stdout); err != nil {
+		log.Fatal(err)
+	}
+
+	fmt.Println("\nReading the series: Online jumps when the crowd arrives and sags")
+	fmt.Println("after the exodus; Intra-AS% is TVAnts' locality bias per bucket —")
+	fmt.Println("the crowd dilutes it until discovery re-finds same-AS partners.")
+	fmt.Println("Other scenarios: go run ./cmd/napawine -scenario-list")
+}

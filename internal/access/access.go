@@ -107,6 +107,18 @@ func NewPort(rate units.BitRate) *Port {
 // Rate reports the port's capacity.
 func (p *Port) Rate() units.BitRate { return p.rate }
 
+// SetRate changes the port's capacity from now on. Transfers already
+// reserved keep their booked completion times (the bits in flight were
+// committed at the old rate); only future reservations serialize at the new
+// rate. Scenario-driven access-link throttling uses this. A non-positive
+// rate panics, as in NewPort.
+func (p *Port) SetRate(rate units.BitRate) {
+	if rate <= 0 {
+		panic(fmt.Sprintf("access: non-positive port rate %v", rate))
+	}
+	p.rate = rate
+}
+
 // Queued reports how many reservations are outstanding at now.
 func (p *Port) Queued(now sim.Time) int {
 	if p.busyUntil <= now {

@@ -18,6 +18,7 @@ import (
 	"napawine/internal/core"
 	"napawine/internal/overlay"
 	"napawine/internal/packet"
+	"napawine/internal/scenario"
 	"napawine/internal/sim"
 	"napawine/internal/sniffer"
 	"napawine/internal/stats"
@@ -35,6 +36,13 @@ type Config struct {
 	// This is how ablation variants (apps.Variant) are run: the world and
 	// scale still come from App's defaults, the behaviour from Profile.
 	Profile *overlay.Profile
+
+	// Scenario, when non-nil, injects a declarative workload timeline
+	// (flash crowd, diurnal wave, partition, tracker outage, ...) into the
+	// run and turns on per-bucket time-series sampling (Result.Series).
+	// Its ExtraPeerFactor sizes World.ExtraPeers unless the caller already
+	// set that explicitly.
+	Scenario *scenario.Spec
 
 	World world.Spec
 
@@ -200,6 +208,12 @@ type Result struct {
 	// swarm actually sustained the stream.
 	MeanContinuity float64
 
+	// Scenario names the workload timeline the run executed ("" = none).
+	Scenario string
+	// Series is the per-bucket time series a scenario run samples; empty
+	// without a scenario. Length is bounded by scenario.MaxBuckets.
+	Series []SeriesSample
+
 	// Ledger is ground truth for validation; analysis never reads it.
 	Ledger *overlay.Ledger
 
@@ -224,6 +238,14 @@ func Run(cfg Config) (*Result, error) {
 		prof, err = apps.ByName(cfg.App)
 		if err != nil {
 			return nil, err
+		}
+	}
+	if cfg.Scenario != nil {
+		if err := cfg.Scenario.Validate(); err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		if cfg.World.ExtraPeers == 0 {
+			cfg.World.ExtraPeers = int(cfg.Scenario.ExtraPeerFactor * float64(cfg.World.Peers))
 		}
 	}
 	w, err := world.Build(cfg.World)
@@ -286,6 +308,10 @@ func Run(cfg Config) (*Result, error) {
 	for _, bg := range w.Background {
 		background = append(background, net.AddNode(bg.Host, bg.Link, prof))
 	}
+	deferred := make([]*overlay.Node, 0, len(w.Deferred))
+	for _, dp := range w.Deferred {
+		deferred = append(deferred, net.AddNode(dp.Host, dp.Link, prof))
+	}
 
 	// Arrivals: source first, probes early, background staggered with
 	// churn. All offsets flow from the seeded engine RNG.
@@ -307,6 +333,24 @@ func Run(cfg Config) (*Result, error) {
 			meanOn *= 4
 		}
 		node.ScheduleChurn(first, meanOn, cfg.ChurnMeanOff)
+	}
+
+	// Scenario timeline and its time-series sampler. Compiling after the
+	// base arrival schedule keeps the engine-RNG consumption order (and
+	// therefore byte-identical replay) well defined.
+	var series *seriesRecorder
+	if cfg.Scenario != nil {
+		err := scenario.Compile(cfg.Scenario, scenario.Env{
+			Eng:        eng,
+			Net:        net,
+			Horizon:    cfg.Duration,
+			Background: background,
+			Deferred:   deferred,
+		})
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		series = recordSeries(eng, net, cfg.Scenario.BucketCount(), cfg.Duration)
 	}
 
 	// Periodic spool flush bounds memory for hour-scale runs.
@@ -335,6 +379,10 @@ func Run(cfg Config) (*Result, error) {
 		Ledger:      net.Ledger,
 		Events:      eng.Processed(),
 		probeByAddr: make(map[netip.Addr]world.Probe, len(w.Probes)),
+	}
+	if cfg.Scenario != nil {
+		res.Scenario = cfg.Scenario.Name
+		res.Series = series.samples
 	}
 	probeSet := w.ProbeAddrs()
 	secs := cfg.Duration.Seconds()

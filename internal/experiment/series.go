@@ -1,0 +1,143 @@
+package experiment
+
+import (
+	"fmt"
+	"time"
+
+	"napawine/internal/overlay"
+	"napawine/internal/report"
+	"napawine/internal/sim"
+	"napawine/internal/stats"
+)
+
+// SeriesSample is one time-series bucket of a scenario run: the swarm's
+// state at the bucket boundary plus the traffic the bucket accumulated.
+// The per-bucket intra-AS share is the dynamic counterpart of Table IV's AS
+// row — it shows locality bias responding to the scenario's events instead
+// of averaged over the whole run.
+type SeriesSample struct {
+	// T is the bucket's end instant as an offset from the run start.
+	T time.Duration
+	// Online counts online non-source peers at T.
+	Online int
+	// Continuity is the mean playout continuity across those peers.
+	Continuity float64
+	// IntraASPct is the share of the bucket's video bytes that stayed
+	// inside one AS; IntraASValid is false when the bucket moved no video.
+	IntraASPct   float64
+	IntraASValid bool
+	// VideoKbps is the swarm-wide video throughput over the bucket.
+	VideoKbps float64
+	// TrackerUp reports whether the tracker was reachable at T.
+	TrackerUp bool
+}
+
+// seriesRecorder samples the swarm at fixed bucket boundaries on the
+// engine's own clock, so the series is part of the deterministic event
+// sequence: same seed and spec, same bytes, regardless of how many
+// experiments run in parallel around this one. Memory is bounded by the
+// bucket count, never the run length.
+type seriesRecorder struct {
+	samples    []SeriesSample
+	prevIntra  int64
+	prevTotal  int64
+	bucketSecs float64
+}
+
+// recordSeries installs a periodic sampler for `buckets` buckets across the
+// horizon and returns the recorder whose samples fill in as the run
+// progresses.
+func recordSeries(eng *sim.Engine, net *overlay.Network, buckets int, horizon time.Duration) *seriesRecorder {
+	every := horizon / time.Duration(buckets)
+	if every <= 0 {
+		every = horizon
+		buckets = 1
+	}
+	r := &seriesRecorder{
+		samples:    make([]SeriesSample, 0, buckets),
+		bucketSecs: every.Seconds(),
+	}
+	eng.Every(every, every, 0, func() {
+		if len(r.samples) >= buckets {
+			return
+		}
+		r.sample(eng, net)
+	})
+	return r
+}
+
+func (r *seriesRecorder) sample(eng *sim.Engine, net *overlay.Network) {
+	online := 0
+	var cont stats.Accumulator
+	for _, nd := range net.Nodes() {
+		if nd.IsSource() || !nd.Online() {
+			continue
+		}
+		online++
+		cont.Add(nd.Continuity())
+	}
+	intra := net.Ledger.VideoIntraAS - r.prevIntra
+	total := net.Ledger.VideoTotal - r.prevTotal
+	r.prevIntra = net.Ledger.VideoIntraAS
+	r.prevTotal = net.Ledger.VideoTotal
+	s := SeriesSample{
+		T:          time.Duration(eng.Now()),
+		Online:     online,
+		Continuity: cont.Mean(),
+		VideoKbps:  float64(total) * 8 / 1000 / r.bucketSecs,
+		TrackerUp:  !net.TrackerPaused(),
+	}
+	if total > 0 {
+		s.IntraASPct = 100 * float64(intra) / float64(total)
+		s.IntraASValid = true
+	}
+	r.samples = append(r.samples, s)
+}
+
+// TrackerMark renders a series table's tracker column: the outage marker is
+// what makes a tracker-outage window visible in an otherwise smooth table.
+// Shared with the sweep renderer so single-run and aggregated series agree.
+func TrackerMark(up bool) string {
+	if up {
+		return "up"
+	}
+	return "DOWN"
+}
+
+// SeriesTable renders the per-bucket time series of one or more runs that
+// share a scenario and duration, bucket-major so each app's response to the
+// same instant sits on adjacent rows. Returns nil when no run carried a
+// series (no scenario), mirroring the sweep-side SeriesTable.
+func SeriesTable(results []*Result) *report.Table {
+	name := ""
+	buckets := 0
+	for _, r := range results {
+		if r.Scenario != "" {
+			name = r.Scenario
+		}
+		if len(r.Series) > buckets {
+			buckets = len(r.Series)
+		}
+	}
+	if buckets == 0 {
+		return nil
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Time series — scenario %q", name),
+		"T", "App", "Online", "Continuity", "Intra-AS%", "Video kbps", "Tracker")
+	for b := 0; b < buckets; b++ {
+		for _, r := range results {
+			if b >= len(r.Series) {
+				continue
+			}
+			s := r.Series[b]
+			t.Add(s.T.String(), r.App,
+				fmt.Sprintf("%d", s.Online),
+				fmt.Sprintf("%.3f", s.Continuity),
+				report.PctOrDash(s.IntraASPct, s.IntraASValid),
+				fmt.Sprintf("%.0f", s.VideoKbps),
+				TrackerMark(s.TrackerUp))
+		}
+	}
+	return t
+}

@@ -1,0 +1,118 @@
+package experiment
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"napawine/internal/scenario"
+)
+
+// scenarioConfig is a fast scenario run: a small swarm over a short
+// horizon, enough for the crowd to arrive and the sampler to fill buckets.
+func scenarioConfig(name string, seed int64) Config {
+	cfg := Default("TVAnts")
+	cfg.Seed = seed
+	cfg.World.Seed = seed
+	cfg.World.Peers = 60
+	cfg.World.ProbeASBackground = 2
+	cfg.Duration = 60 * time.Second
+	spec, err := scenario.ByName(name)
+	if err != nil {
+		panic(err)
+	}
+	cfg.Scenario = spec
+	return cfg
+}
+
+func TestScenarioRunProducesSeries(t *testing.T) {
+	r, err := Run(scenarioConfig("flashcrowd", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Scenario != "flashcrowd" {
+		t.Errorf("Scenario = %q, want flashcrowd", r.Scenario)
+	}
+	if len(r.Series) != scenario.DefaultBuckets {
+		t.Fatalf("series has %d buckets, want %d", len(r.Series), scenario.DefaultBuckets)
+	}
+	// The flash crowd arrives in [25%, 35%] of the run: the online
+	// population after the burst must exceed the population before it.
+	pre, post := r.Series[2], r.Series[len(r.Series)-4]
+	if post.Online <= pre.Online {
+		t.Errorf("flash crowd invisible in series: online %d at %v vs %d at %v",
+			pre.Online, pre.T, post.Online, post.T)
+	}
+	for i, s := range r.Series {
+		if s.T <= 0 || s.T > r.Duration {
+			t.Errorf("bucket %d at %v outside the run", i, s.T)
+		}
+		if s.Continuity < 0 || s.Continuity > 1 {
+			t.Errorf("bucket %d continuity %v outside [0,1]", i, s.Continuity)
+		}
+		if s.IntraASValid && (s.IntraASPct < 0 || s.IntraASPct > 100) {
+			t.Errorf("bucket %d intra-AS %v%% outside [0,100]", i, s.IntraASPct)
+		}
+	}
+	// Summaries carry the series for sweeps, bounded by the bucket cap.
+	sum := Summarize(r)
+	if sum.Scenario != "flashcrowd" || len(sum.Series) != len(r.Series) {
+		t.Errorf("summary lost the series: scenario %q, %d buckets", sum.Scenario, len(sum.Series))
+	}
+	if len(sum.Series) > scenario.MaxBuckets {
+		t.Errorf("summary series exceeds the memory bound: %d buckets", len(sum.Series))
+	}
+}
+
+func TestRunWithoutScenarioHasNoSeries(t *testing.T) {
+	r := runSmall(t, "TVAnts")
+	if r.Scenario != "" || len(r.Series) != 0 {
+		t.Errorf("plain run grew a series: scenario %q, %d buckets", r.Scenario, len(r.Series))
+	}
+}
+
+func TestScenarioSeriesDeterministic(t *testing.T) {
+	render := func() string {
+		r, err := Run(scenarioConfig("outage", 9))
+		if err != nil {
+			t.Fatal(err)
+		}
+		var b strings.Builder
+		if err := SeriesTable([]*Result{r}).Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	a, b := render(), render()
+	if a != b {
+		t.Errorf("same scenario+seed produced different series tables:\n--- first ---\n%s\n--- second ---\n%s", a, b)
+	}
+	// The outage window [35%, 60%] must be visible as DOWN tracker marks.
+	if !strings.Contains(a, "DOWN") {
+		t.Errorf("outage scenario series never shows the tracker down:\n%s", a)
+	}
+	if !strings.Contains(a, "up") {
+		t.Errorf("outage scenario series never shows the tracker up:\n%s", a)
+	}
+}
+
+func TestSeriesTableShape(t *testing.T) {
+	r, err := Run(scenarioConfig("steady", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	tab := SeriesTable([]*Result{r})
+	if len(tab.Rows) != len(r.Series) {
+		t.Errorf("table has %d rows for %d buckets", len(tab.Rows), len(r.Series))
+	}
+	if !strings.Contains(tab.Title, "steady") {
+		t.Errorf("table title %q does not name the scenario", tab.Title)
+	}
+}
+
+func TestSeriesTableNilWithoutScenario(t *testing.T) {
+	r := runSmall(t, "TVAnts")
+	if tab := SeriesTable([]*Result{r}); tab != nil {
+		t.Errorf("scenario-less results produced a series table: %q", tab.Title)
+	}
+}

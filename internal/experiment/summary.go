@@ -14,6 +14,14 @@ type Summary struct {
 	App  string
 	Seed int64
 
+	// Scenario names the workload timeline this run executed ("" = none);
+	// Series carries its per-bucket time series. Bounded by construction:
+	// the sampler never records more than scenario.MaxBuckets buckets per
+	// run, so a sweep's summaries stay a few KB each no matter the run
+	// length.
+	Scenario string
+	Series   []SeriesSample
+
 	// Table II inputs: mean and max across this run's probes.
 	RxKbpsMean, RxKbpsMax       float64
 	TxKbpsMean, TxKbpsMax       float64
@@ -53,6 +61,8 @@ func Summarize(r *Result) Summary {
 	s := Summary{
 		App:            r.App,
 		Seed:           r.Cfg.Seed,
+		Scenario:       r.Scenario,
+		Series:         r.Series,
 		HopMedian:      r.HopMedianMeasured,
 		MeanContinuity: r.MeanContinuity,
 		Events:         r.Events,

@@ -1,6 +1,7 @@
 package overlay
 
 import (
+	"fmt"
 	"sort"
 	"time"
 
@@ -54,10 +55,23 @@ type Node struct {
 	// partnership episodes within one session.
 	rateMemory map[PeerID]units.BitRate
 
-	isSource  bool
-	online    bool
+	isSource bool
+	online   bool
+	// blocked: connectivity lost (scenario partition): Join is deferred.
+	// joinDeferred records a Join attempted while blocked, honoured at
+	// Unblock — an arrival during a partition connects when the network
+	// heals instead of being lost.
+	blocked      bool
+	joinDeferred bool
+	// retired: the viewer is gone for good (scenario exodus): every later
+	// Join — including the node's own churn cycle — is refused.
+	retired   bool
 	onlineIdx int
 	onlineAt  sim.Time
+
+	// baseSpec remembers the link's factory rates across SetLinkScale
+	// calls; zero until the first throttle.
+	baseSpec units.AccessSpec
 
 	capture *sniffer.Capture
 	spool   *sniffer.Spool
@@ -103,6 +117,13 @@ func (nd *Node) hasChunk(id chunkstream.ChunkID, now sim.Time) bool {
 // tracker for candidates, forms initial partnerships and starts its
 // periodic activities.
 func (nd *Node) Join() {
+	if nd.retired {
+		return
+	}
+	if nd.blocked {
+		nd.joinDeferred = true
+		return
+	}
 	if nd.online {
 		return
 	}
@@ -153,6 +174,9 @@ func (nd *Node) Join() {
 // Leave takes the node offline, cancelling periodic work. Partner state at
 // remote peers decays lazily: their next interaction notices the absence.
 func (nd *Node) Leave() {
+	// A leave ends the session whether or not it ever materialized: a
+	// deferred join whose session would already be over must not fire.
+	nd.joinDeferred = false
 	if !nd.online {
 		return
 	}
@@ -164,6 +188,68 @@ func (nd *Node) Leave() {
 	nd.cancels = nil
 	nd.partners = make(map[PeerID]*partner)
 	nd.inflight = make(map[chunkstream.ChunkID]*pendingReq)
+}
+
+// Retire takes the node offline for good: the viewer switched the program
+// off, so neither its churn cycle nor any scheduled Join brings it back.
+// This is what makes a scenario's mass exodus permanent instead of a dip
+// the background churn quietly refills.
+func (nd *Node) Retire() {
+	nd.Leave()
+	nd.retired = true
+}
+
+// Retired reports whether the node has permanently left.
+func (nd *Node) Retired() bool { return nd.retired }
+
+// Block models the node losing network connectivity (an AS or country
+// partition): it is forced offline immediately and every Join attempt —
+// scheduled arrivals, churn cycles — is deferred until Unblock. Idempotent.
+func (nd *Node) Block() {
+	nd.Leave()
+	nd.blocked = true
+}
+
+// Unblock restores connectivity. A Join attempted during the blocked
+// window (a scenario arrival, a churn-cycle rejoin) fires now; a node that
+// was simply offline stays offline — the caller decides whether the
+// partition's victims reconnect at once (Join) or drift back with their
+// own churn cycles.
+func (nd *Node) Unblock() {
+	nd.blocked = false
+	if nd.joinDeferred {
+		nd.joinDeferred = false
+		nd.Join()
+	}
+}
+
+// Blocked reports whether the node is currently partitioned off.
+func (nd *Node) Blocked() bool { return nd.blocked }
+
+// SetLinkScale throttles (or restores) the node's access link: both
+// directions run at factor × the original capacity from now on. factor 1
+// restores the factory rates; factors are absolute, not cumulative.
+// Transfers already booked keep their completion times. The scaled rates
+// govern packet-train timing too, so throttling is visible to the paper's
+// IPG-based bandwidth inference exactly like a genuinely slower peer.
+func (nd *Node) SetLinkScale(factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("overlay: non-positive link scale %v", factor))
+	}
+	if nd.baseSpec.Up == 0 {
+		nd.baseSpec = nd.Link.Spec
+	}
+	scale := func(r units.BitRate) units.BitRate {
+		s := units.BitRate(float64(r) * factor)
+		if s < 64*units.Kbps { // floor: a link below this would starve even signaling
+			s = 64 * units.Kbps
+		}
+		return s
+	}
+	nd.Link.Spec.Up = scale(nd.baseSpec.Up)
+	nd.Link.Spec.Down = scale(nd.baseSpec.Down)
+	nd.up.SetRate(nd.Link.Spec.Up)
+	nd.down.SetRate(nd.Link.Spec.Down)
 }
 
 // ScheduleChurn makes the node cycle online/offline with exponential
@@ -184,9 +270,17 @@ func (nd *Node) ScheduleChurn(firstJoin time.Duration, meanOn, meanOff time.Dura
 	}
 	var cycle func()
 	cycle = func() {
+		// A retired viewer's chain dies here: rescheduling it would burn
+		// events and RNG draws on refused joins for the rest of the run.
+		if nd.retired {
+			return
+		}
 		nd.Join()
 		eng.Schedule(expDur(meanOn), func() {
 			nd.Leave()
+			if nd.retired {
+				return
+			}
 			eng.Schedule(expDur(meanOff), cycle)
 		})
 	}

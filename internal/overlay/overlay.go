@@ -155,6 +155,12 @@ type Ledger struct {
 	ChunksServed       map[PeerID]int64
 	Rejections         map[PeerID]int64
 	Timeouts           map[PeerID]int64
+
+	// Running swarm-wide video totals, split by whether the transfer stayed
+	// inside one AS. Time-series samplers difference these between buckets
+	// to report per-bucket locality without walking VideoByPair.
+	VideoTotal   int64
+	VideoIntraAS int64
 }
 
 func newLedger() *Ledger {
@@ -170,10 +176,14 @@ func newLedger() *Ledger {
 	}
 }
 
-func (l *Ledger) video(from, to PeerID, n int64) {
+func (l *Ledger) video(from, to PeerID, n int64, sameAS bool) {
 	l.VideoByPair[[2]PeerID{from, to}] += n
 	l.VideoTx[from] += n
 	l.VideoRx[to] += n
+	l.VideoTotal += n
+	if sameAS {
+		l.VideoIntraAS += n
+	}
 }
 
 func (l *Ledger) signal(from, to PeerID, n int64) {
@@ -191,6 +201,9 @@ type Network struct {
 	nodes  []*Node
 	online []*Node // compact set for O(1) random tracker sampling
 	source *Node
+	// trackerPaused models a tracker outage: queries return nothing, so
+	// discovery stalls while established partnerships keep streaming.
+	trackerPaused bool
 }
 
 // New builds an empty network on the given engine and topology.
@@ -278,11 +291,20 @@ func (n *Network) FlushCapturesBefore() {
 	}
 }
 
+// SetTrackerPaused pauses or resumes the tracker. While paused every query
+// comes back empty — peers cannot discover new partners but keep whatever
+// partnerships they already hold. Workload scenarios use this to model
+// tracker outage windows.
+func (n *Network) SetTrackerPaused(paused bool) { n.trackerPaused = paused }
+
+// TrackerPaused reports whether the tracker is currently paused.
+func (n *Network) TrackerPaused() bool { return n.trackerPaused }
+
 // trackerSample returns up to k distinct online nodes other than asker,
 // uniformly at random. Commercial trackers return random subsets; locality
 // bias, where it exists, is applied by the client (its DiscoveryWeight).
 func (n *Network) trackerSample(asker *Node, k int) []*Node {
-	if k <= 0 || len(n.online) == 0 {
+	if n.trackerPaused || k <= 0 || len(n.online) == 0 {
 		return nil
 	}
 	rng := n.Eng.Rand()

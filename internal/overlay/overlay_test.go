@@ -394,3 +394,187 @@ func BenchmarkSwarm20Peers30s(b *testing.B) {
 		w.eng.Run(30 * time.Second)
 	}
 }
+
+// TestRejoinAfterOutageResumesCleanly covers the scenario subsystem's
+// hardest overlay contract: a peer that leaves during a tracker outage and
+// rejoins afterwards must re-register with the tracker, rebuild a partner
+// set and resume streaming — and its first session must leave no ghost
+// activity behind (a left peer emits nothing once its stale ticks drain).
+func TestRejoinAfterOutageResumesCleanly(t *testing.T) {
+	w := buildWorld(t, 11, 20, 4)
+	w.startAll()
+	w.eng.Run(30 * time.Second)
+
+	victim := w.peers[4]
+	w.net.SetTrackerPaused(true)
+	victim.Leave()
+	if victim.Online() || victim.Partners() != 0 {
+		t.Fatal("Leave did not tear the victim down")
+	}
+
+	// Drain the one no-op firing each cancelled periodic tick gets, then
+	// the victim must be completely silent: no signaling, no video.
+	w.eng.Run(50 * time.Second)
+	sigAtRest := w.net.Ledger.SignalTx[victim.ID]
+	rxAtRest := w.net.Ledger.VideoRx[victim.ID]
+	w.eng.Run(40 * time.Second)
+	if got := w.net.Ledger.SignalTx[victim.ID]; got != sigAtRest {
+		t.Errorf("ghost signaling after Leave: %d bytes", got-sigAtRest)
+	}
+	if got := w.net.Ledger.VideoRx[victim.ID]; got != rxAtRest {
+		t.Errorf("ghost video after Leave: %d bytes", got-rxAtRest)
+	}
+
+	// Outage over, the viewer comes back.
+	w.net.SetTrackerPaused(false)
+	victim.Join()
+	w.eng.Run(60 * time.Second)
+	if !victim.Online() {
+		t.Fatal("victim not online after rejoin")
+	}
+	if victim.Partners() == 0 {
+		t.Error("rejoined victim rebuilt no partner set (tracker re-registration failed?)")
+	}
+	grew := w.net.Ledger.VideoRx[victim.ID] - rxAtRest
+	if grew < 10*48_000 {
+		t.Errorf("rejoined victim resumed only %d video bytes", grew)
+	}
+	if c := victim.Continuity(); c < 0.7 {
+		t.Errorf("rejoined victim continuity %.3f, want > 0.7", c)
+	}
+}
+
+// TestRejoinProcessedDeterministic replays the leave-during-outage /
+// rejoin dance twice: ghost timers from the first session would perturb the
+// event count, so byte-identical Processed() across replays (and a stable
+// pending queue) is the regression guard.
+func TestRejoinProcessedDeterministic(t *testing.T) {
+	dance := func() (uint64, int) {
+		w := buildWorld(t, 12, 16, 4)
+		w.startAll()
+		victim := w.peers[2]
+		w.eng.Schedule(25*time.Second, func() {
+			w.net.SetTrackerPaused(true)
+			victim.Leave()
+		})
+		w.eng.Schedule(55*time.Second, func() {
+			w.net.SetTrackerPaused(false)
+			victim.Join()
+		})
+		w.eng.Run(2 * time.Minute)
+		return w.eng.Processed(), w.eng.Pending()
+	}
+	p1, q1 := dance()
+	p2, q2 := dance()
+	if p1 != p2 || q1 != q2 {
+		t.Errorf("rejoin dance diverged: processed %d/%d, pending %d/%d", p1, p2, q1, q2)
+	}
+}
+
+// TestBlockDefersJoin covers the partition hook: a blocked node must stay
+// offline through every Join attempt — scheduled arrivals and churn cycles
+// alike — and a join attempted during the window must fire at Unblock, so
+// an arrival scheduled inside a partition connects when the network heals
+// instead of being lost.
+func TestBlockDefersJoin(t *testing.T) {
+	w := buildWorld(t, 13, 8, 0)
+	w.startAll()
+	w.eng.Run(20 * time.Second)
+	nd := w.peers[0]
+	nd.Block()
+	if nd.Online() {
+		t.Fatal("Block left the node online")
+	}
+	nd.Join() // must be deferred, not executed
+	if nd.Online() {
+		t.Fatal("Join succeeded while blocked")
+	}
+	w.eng.Run(30 * time.Second)
+	if nd.Online() {
+		t.Fatal("blocked node resurfaced")
+	}
+	nd.Unblock() // honours the deferred join
+	w.eng.Run(30 * time.Second)
+	if !nd.Online() || nd.Partners() == 0 {
+		t.Error("deferred join did not fire at Unblock and rebuild partners")
+	}
+
+	// A node that never attempted to join while blocked stays offline.
+	idle := w.peers[1]
+	idle.Leave()
+	idle.Block()
+	idle.Unblock()
+	if idle.Online() {
+		t.Error("Unblock resurrected a node with no deferred join")
+	}
+
+	// A deferred join whose session ended (Leave) before Unblock is void.
+	gone := w.peers[2]
+	gone.Block()
+	gone.Join()
+	gone.Leave()
+	gone.Unblock()
+	if gone.Online() {
+		t.Error("Unblock honoured a join whose session already ended")
+	}
+}
+
+// TestSetLinkScaleIsAbsolute: factors apply to the factory rates, not
+// cumulatively, and factor 1 restores them exactly.
+func TestSetLinkScaleIsAbsolute(t *testing.T) {
+	w := buildWorld(t, 14, 2, 0)
+	nd := w.peers[0]
+	orig := nd.Link.Spec
+	nd.SetLinkScale(0.5)
+	nd.SetLinkScale(0.5)
+	if nd.Link.Spec.Up != units.BitRate(float64(orig.Up)*0.5) {
+		t.Errorf("two 0.5 scales compounded: %v", nd.Link.Spec.Up)
+	}
+	nd.SetLinkScale(1)
+	if nd.Link.Spec != orig {
+		t.Errorf("scale 1 did not restore factory rates: %v vs %v", nd.Link.Spec, orig)
+	}
+	if nd.up.Rate() != orig.Up || nd.down.Rate() != orig.Down {
+		t.Errorf("ports not restored: %v/%v", nd.up.Rate(), nd.down.Rate())
+	}
+}
+
+// TestRetireIsPermanent: a retired node refuses every later Join, including
+// its own churn cycle's — the overlay contract behind a scenario exodus.
+func TestRetireIsPermanent(t *testing.T) {
+	w := buildWorld(t, 15, 10, 0)
+	w.eng.Schedule(0, w.src.Join)
+	churner := w.peers[0]
+	churner.ScheduleChurn(0, 10*time.Second, 3*time.Second)
+	w.eng.Run(15 * time.Second)
+	churner.Retire()
+	if churner.Online() || !churner.Retired() {
+		t.Fatal("Retire did not take the node down")
+	}
+	w.eng.Run(2 * time.Minute) // many churn cycles' worth
+	if churner.Online() {
+		t.Error("churn cycle resurrected a retired node")
+	}
+	churner.Join() // explicit joins are refused too
+	if churner.Online() {
+		t.Error("Join resurrected a retired node")
+	}
+}
+
+// TestRetireStopsChurnChain: a retired node's churn loop must stop
+// rescheduling itself — ghost cycles would burn events and RNG draws on
+// refused joins for the rest of the run.
+func TestRetireStopsChurnChain(t *testing.T) {
+	w := buildWorld(t, 16, 1, 0)
+	nd := w.peers[0]
+	nd.ScheduleChurn(0, 5*time.Second, 2*time.Second)
+	w.eng.Run(12 * time.Second)
+	nd.Retire()
+	// The in-flight chain segment drains (bounded by the 10×mean cap);
+	// after that the engine must be empty — the source never joined, so
+	// the churn chain was the only event producer.
+	w.eng.Run(10 * time.Minute)
+	if p := w.eng.Pending(); p != 0 {
+		t.Errorf("retired node still has %d events scheduled", p)
+	}
+}

@@ -114,7 +114,7 @@ func (nd *Node) serveChunk(requester *Node, id chunkstream.ChunkID) {
 		}
 	}
 
-	net.Ledger.video(nd.ID, requester.ID, int64(chunkSize))
+	net.Ledger.video(nd.ID, requester.ID, int64(chunkSize), nd.Host.AS == requester.Host.AS)
 	net.Ledger.ChunksServed[nd.ID]++
 
 	last := arrives[len(arrives)-1]

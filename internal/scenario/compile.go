@@ -1,0 +1,264 @@
+package scenario
+
+import (
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"time"
+
+	"napawine/internal/overlay"
+	"napawine/internal/sim"
+	"napawine/internal/topology"
+)
+
+// Env is the wiring surface the experiment layer hands to Compile: the
+// engine every event is scheduled on, the overlay network whose hooks the
+// events drive, and the two node pools a scenario may manipulate. Probe
+// nodes are deliberately absent — they are the measurement vantage points
+// and, as in the real testbed, never churn.
+type Env struct {
+	Eng     *sim.Engine
+	Net     *overlay.Network
+	Horizon time.Duration
+
+	// Background peers: already arrival-scheduled and churning.
+	Background []*overlay.Node
+	// Deferred pool: inactive until an Arrivals event claims them.
+	Deferred []*overlay.Node
+}
+
+// Compile validates the spec and schedules every event onto env.Eng. It
+// must be called before the engine runs (at virtual time zero). All
+// randomness — compile-time arrival offsets and runtime victim selection —
+// flows through the engine's seeded source, so the same seed and spec
+// replay byte-identically.
+func Compile(s *Spec, env Env) error {
+	if err := s.Validate(); err != nil {
+		return err
+	}
+	if env.Eng == nil || env.Net == nil {
+		return fmt.Errorf("scenario %s: nil engine or network", s.Name)
+	}
+	if env.Horizon <= 0 {
+		return fmt.Errorf("scenario %s: non-positive horizon %v", s.Name, env.Horizon)
+	}
+	cursor := 0 // deferred-pool peers already claimed by earlier events
+	for i, ev := range s.Events {
+		switch ev.Kind {
+		case Arrivals:
+			cursor = compileArrivals(ev, env, cursor)
+		case Departures:
+			compileDepartures(ev, env)
+		case Partition:
+			if err := compilePartition(ev, env); err != nil {
+				return fmt.Errorf("scenario %s: event %d: %w", s.Name, i, err)
+			}
+		case Throttle:
+			compileThrottle(ev, env)
+		case TrackerOutage:
+			env.Eng.Schedule(at(ev.From, env.Horizon), func() { env.Net.SetTrackerPaused(true) })
+			env.Eng.Schedule(at(ev.To, env.Horizon), func() { env.Net.SetTrackerPaused(false) })
+		}
+	}
+	return nil
+}
+
+// shapeOffset draws one arrival position in [0, 1) under the event's shape.
+func shapeOffset(rng *rand.Rand, shape Shape) float64 {
+	switch shape {
+	case ShapeBurst:
+		// Exponentially decaying density over the window: inverse-CDF of
+		// a rate-4 exponential truncated to [0, 1).
+		u := rng.Float64()
+		return -math.Log(1-u*(1-math.Exp(-4))) / 4
+	case ShapeWave:
+		// Half-sine hump peaking mid-window, by rejection sampling.
+		for {
+			x := rng.Float64()
+			if rng.Float64() <= math.Sin(math.Pi*x) {
+				return x
+			}
+		}
+	default:
+		return rng.Float64()
+	}
+}
+
+// expStay draws an exponential session length with the given mean, floored
+// at one second and capped at 6× the mean so a single draw cannot dominate
+// the run.
+func expStay(rng *rand.Rand, mean time.Duration) time.Duration {
+	d := time.Duration(rng.ExpFloat64() * float64(mean))
+	if d < time.Second {
+		d = time.Second
+	}
+	if d > 6*mean {
+		d = 6 * mean
+	}
+	return d
+}
+
+func compileArrivals(ev Event, env Env, cursor int) int {
+	remaining := len(env.Deferred) - cursor
+	if remaining <= 0 {
+		return cursor
+	}
+	n := remaining
+	if ev.Peers > 0 {
+		n = int(ev.Peers * float64(len(env.Deferred)))
+		if n > remaining {
+			n = remaining
+		}
+	}
+	rng := env.Eng.Rand()
+	from := at(ev.From, env.Horizon)
+	width := at(ev.To, env.Horizon) - from
+	for _, nd := range env.Deferred[cursor : cursor+n] {
+		nd := nd
+		join := from + time.Duration(shapeOffset(rng, ev.Shape)*float64(width))
+		env.Eng.Schedule(join, nd.Join)
+		if ev.MeanStay > 0 {
+			stay := expStay(rng, time.Duration(ev.MeanStay*float64(env.Horizon)))
+			if leave := join + stay; leave < env.Horizon {
+				env.Eng.Schedule(leave, nd.Leave)
+			}
+		}
+	}
+	return cursor + n
+}
+
+// eligible is every node a population event may touch: the background pool
+// plus the deferred pool, in stable construction order.
+func eligible(env Env) []*overlay.Node {
+	out := make([]*overlay.Node, 0, len(env.Background)+len(env.Deferred))
+	out = append(out, env.Background...)
+	out = append(out, env.Deferred...)
+	return out
+}
+
+func compileDepartures(ev Event, env Env) {
+	start := at(ev.From, env.Horizon)
+	width := at(ev.To, env.Horizon) - start
+	env.Eng.Schedule(start, func() {
+		// Victim selection happens at event time, over whoever is actually
+		// online then, via the engine RNG — deterministic because the
+		// engine is single-threaded.
+		var online []*overlay.Node
+		for _, nd := range eligible(env) {
+			if nd.Online() {
+				online = append(online, nd)
+			}
+		}
+		rng := env.Eng.Rand()
+		rng.Shuffle(len(online), func(i, j int) { online[i], online[j] = online[j], online[i] })
+		want := int(ev.Fraction * float64(len(online)))
+		for _, nd := range online[:want] {
+			nd := nd
+			var lag time.Duration
+			if width > 0 {
+				lag = time.Duration(rng.Int63n(int64(width)))
+			}
+			// Retire, not Leave: the program ended for these viewers, so
+			// their own churn cycles must not quietly resurrect them and
+			// erase the exodus.
+			env.Eng.Schedule(lag, nd.Retire)
+		}
+	})
+}
+
+// partitionTargets resolves the event's AS selector against the non-probe
+// population. Ranking for the "N most-populated background ASes" selector
+// counts only the base background population — the deferred pool hasn't
+// arrived and must not skew which ASes the incident hits — but the blackout
+// itself takes every non-probe peer of the chosen ASes (or country) off the
+// network, deferred arrivals included. Selection is compile-time and purely
+// structural (host placement), so it consumes no randomness.
+func partitionTargets(ev Event, env Env) []*overlay.Node {
+	pool := eligible(env)
+	if ev.Country != "" {
+		var out []*overlay.Node
+		for _, nd := range pool {
+			if nd.Host.Country == ev.Country {
+				out = append(out, nd)
+			}
+		}
+		return out
+	}
+	count := map[topology.ASN]int{}
+	for _, nd := range env.Background {
+		count[nd.Host.AS]++
+	}
+	asns := make([]topology.ASN, 0, len(count))
+	for asn := range count {
+		asns = append(asns, asn)
+	}
+	sort.Slice(asns, func(i, j int) bool {
+		if count[asns[i]] != count[asns[j]] {
+			return count[asns[i]] > count[asns[j]]
+		}
+		return asns[i] < asns[j]
+	})
+	if ev.ASes < len(asns) {
+		asns = asns[:ev.ASes]
+	}
+	hit := make(map[topology.ASN]bool, len(asns))
+	for _, asn := range asns {
+		hit[asn] = true
+	}
+	var out []*overlay.Node
+	for _, nd := range pool {
+		if hit[nd.Host.AS] {
+			out = append(out, nd)
+		}
+	}
+	return out
+}
+
+func compilePartition(ev Event, env Env) error {
+	targets := partitionTargets(ev, env)
+	if len(targets) == 0 {
+		return fmt.Errorf("partition: selector matches no peers (country %q, ASes %d)", ev.Country, ev.ASes)
+	}
+	rejoin := make([]bool, len(targets))
+	env.Eng.Schedule(at(ev.From, env.Horizon), func() {
+		for i, nd := range targets {
+			rejoin[i] = nd.Online()
+			nd.Block()
+		}
+	})
+	env.Eng.Schedule(at(ev.To, env.Horizon), func() {
+		for i, nd := range targets {
+			nd.Unblock()
+			if rejoin[i] {
+				// Connectivity back means the client reconnects at once —
+				// the synchronized rejoin wave a real outage recovery shows.
+				nd.Join()
+			}
+		}
+	})
+	return nil
+}
+
+func compileThrottle(ev Event, env Env) {
+	pool := eligible(env)
+	// Victim selection at compile time via the engine RNG: a Fisher–Yates
+	// prefix of the stable pool order.
+	rng := env.Eng.Rand()
+	idx := rng.Perm(len(pool))
+	want := int(ev.Fraction * float64(len(pool)))
+	victims := make([]*overlay.Node, 0, want)
+	for _, i := range idx[:want] {
+		victims = append(victims, pool[i])
+	}
+	env.Eng.Schedule(at(ev.From, env.Horizon), func() {
+		for _, nd := range victims {
+			nd.SetLinkScale(ev.Factor)
+		}
+	})
+	env.Eng.Schedule(at(ev.To, env.Horizon), func() {
+		for _, nd := range victims {
+			nd.SetLinkScale(1)
+		}
+	})
+}

@@ -1,0 +1,122 @@
+package scenario
+
+import (
+	"fmt"
+	"strings"
+)
+
+// The built-in registry maps scenario names to fresh Spec constructors, in a
+// fixed presentation order. ByName returns a fresh value each call so a
+// caller mutating its copy (e.g. overriding Buckets) cannot corrupt the
+// registry.
+var registry = []struct {
+	name  string
+	build func() Spec
+}{
+	{"steady", steady},
+	{"flashcrowd", flashCrowd},
+	{"diurnal", diurnal},
+	{"partition", partition},
+	{"outage", outage},
+	{"throttle", throttle},
+}
+
+// Names lists the registered scenarios in presentation order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.name
+	}
+	return out
+}
+
+// ByName returns a fresh copy of the named scenario.
+func ByName(name string) (*Spec, error) {
+	for _, r := range registry {
+		if r.name == name {
+			s := r.build()
+			return &s, nil
+		}
+	}
+	return nil, fmt.Errorf("scenario: unknown scenario %q (want %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// steady is the paper's own condition: the stationary background churn with
+// no injected events. It exists so time-series output has a baseline to
+// compare every dynamic scenario against.
+func steady() Spec {
+	return Spec{
+		Name:        "steady",
+		Description: "stationary audience, baseline churn only (the paper's §II condition)",
+	}
+}
+
+// flashCrowd doubles the potential audience: the crowd piles in over a
+// tenth of the run shortly after the broadcast starts, then half the swarm
+// walks away near the end — the program-boundary pattern P2P IPTV
+// measurement studies report around popular matches.
+func flashCrowd() Spec {
+	return Spec{
+		Name:            "flashcrowd",
+		Description:     "burst arrival doubling the swarm at ~25% of the run, mass exodus of half the audience at ~80%",
+		ExtraPeerFactor: 1.0,
+		Events: []Event{
+			{Kind: Arrivals, From: 0.25, To: 0.35, Shape: ShapeBurst},
+			{Kind: Departures, From: 0.78, To: 0.9, Fraction: 0.5},
+		},
+	}
+}
+
+// diurnal compresses a daily audience wave into the run: arrivals follow a
+// half-sine hump with finite exponential stays, so the online population
+// rises, crests mid-run and drains.
+func diurnal() Spec {
+	return Spec{
+		Name:            "diurnal",
+		Description:     "half-sine arrival wave with finite sessions: the virtual day's audience swell and drain",
+		ExtraPeerFactor: 0.8,
+		Events: []Event{
+			{Kind: Arrivals, From: 0.05, To: 0.95, Shape: ShapeWave, MeanStay: 0.2},
+		},
+	}
+}
+
+// partition takes the three most populated background ASes off the network
+// for a quarter of the run: their peers vanish at once and reconnect
+// together, the pattern of a national backbone incident.
+func partition() Spec {
+	return Spec{
+		Name:        "partition",
+		Description: "the 3 most-populated background ASes lose connectivity for [40%, 65%] of the run, then reconnect at once",
+		Events: []Event{
+			{Kind: Partition, From: 0.4, To: 0.65, ASes: 3},
+		},
+	}
+}
+
+// outage pauses the tracker for a quarter of the run: churned-out peers
+// cannot rediscover the swarm, so the population sags until the tracker
+// returns and the rejoin backlog drains.
+func outage() Spec {
+	return Spec{
+		Name:        "outage",
+		Description: "tracker unreachable for [35%, 60%] of the run: discovery stalls, existing partnerships keep streaming",
+		Events: []Event{
+			{Kind: TrackerOutage, From: 0.35, To: 0.6},
+		},
+	}
+}
+
+// throttle runs half the non-probe population at quarter capacity for a
+// third of the run — an access-ISP congestion episode that shifts which
+// peers the bandwidth-aware schedulers favour.
+func throttle() Spec {
+	return Spec{
+		Name:        "throttle",
+		Description: "half the peers throttled to 25% link capacity during [40%, 70%] of the run",
+		Events: []Event{
+			{Kind: Throttle, From: 0.4, To: 0.7, Fraction: 0.5, Factor: 0.25},
+		},
+	}
+}

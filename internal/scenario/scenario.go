@@ -1,0 +1,236 @@
+// Package scenario injects declarative workload timelines — flash crowds,
+// diurnal population waves, AS partitions, access-link throttling, tracker
+// outages — into a running experiment.
+//
+// The paper observes each application under a single stationary condition
+// (one CCTV-1 broadcast at China peak hour, §II); measurement studies of the
+// same clients under dynamics (Silverston & Fourmaux's IPTV comparison,
+// Mathieu & Perino's resource-aware epidemic streaming) show that population
+// and network transients are where locality and bandwidth policies actually
+// earn or lose their keep. A Spec is a named, seedable list of events over
+// the virtual run; Compile schedules them onto the experiment's existing
+// sim.Engine, so a scenario inherits the engine's determinism — the same
+// seed and spec replay byte-identically, regardless of how many experiments
+// run in parallel around it.
+//
+// Event times are fractions of the run horizon, not absolute instants: the
+// same scenario stretches from a 30-second smoke run to the paper's full
+// virtual hour without editing the spec.
+package scenario
+
+import (
+	"fmt"
+	"time"
+
+	"napawine/internal/topology"
+)
+
+// Kind enumerates the event families a timeline can contain.
+type Kind int
+
+// Event kinds.
+const (
+	// Arrivals activates peers from the experiment's deferred pool over the
+	// [From, To] window, following Shape.
+	Arrivals Kind = iota
+	// Departures makes a Fraction of the online non-probe population leave
+	// for good, spread across the [From, To] window — a program-boundary
+	// exodus. Victims retire: their own churn cycles do not bring them
+	// back.
+	Departures
+	// Partition takes an AS set (a country's ASes, or the N most populated
+	// background ASes) off the network for the [From, To] window. Victims
+	// drop offline at From and reconnect at To if they were online.
+	Partition
+	// Throttle runs a Fraction of the non-probe population's access links
+	// at Factor × capacity during the [From, To] window.
+	Throttle
+	// TrackerOutage pauses the tracker for the [From, To] window: discovery
+	// stalls, established partnerships keep streaming.
+	TrackerOutage
+)
+
+// String names the kind for error messages and docs.
+func (k Kind) String() string {
+	switch k {
+	case Arrivals:
+		return "arrivals"
+	case Departures:
+		return "departures"
+	case Partition:
+		return "partition"
+	case Throttle:
+		return "throttle"
+	case TrackerOutage:
+		return "tracker-outage"
+	}
+	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// Shape selects the arrival-time density of an Arrivals event.
+type Shape int
+
+// Arrival shapes.
+const (
+	// ShapeUniform spreads arrivals evenly over the window — with random
+	// offsets this is a Poisson trickle conditioned on the count.
+	ShapeUniform Shape = iota
+	// ShapeBurst front-loads the window with exponentially decaying
+	// density: the classic flash-crowd onset.
+	ShapeBurst
+	// ShapeWave peaks arrival density mid-window (half-sine): one diurnal
+	// hump over the virtual day.
+	ShapeWave
+)
+
+// Event is one timeline entry. From and To are fractions of the experiment
+// horizon in [0, 1]; point events use From == To.
+type Event struct {
+	Kind     Kind
+	From, To float64
+
+	// Arrivals knobs.
+	//
+	// Peers is the share of the deferred pool this event activates; <= 0
+	// means every peer not claimed by an earlier Arrivals event. MeanStay,
+	// when positive, gives activated peers exponential session lengths with
+	// this mean (as a fraction of the horizon); zero means they stay to the
+	// end.
+	Peers    float64
+	Shape    Shape
+	MeanStay float64
+
+	// Departures / Throttle target share of the eligible population.
+	Fraction float64
+
+	// Partition targeting: all ASes of Country when set, otherwise the
+	// ASes most-populated *background* ASes (ties broken by lower AS
+	// number; the deferred pool does not influence the ranking but is
+	// blacked out with the chosen ASes).
+	Country topology.CC
+	ASes    int
+
+	// Throttle capacity multiplier (0.25 = quarter speed).
+	Factor float64
+}
+
+// Spec is a named, declarative workload timeline.
+type Spec struct {
+	Name        string
+	Description string
+
+	// ExtraPeerFactor sizes the deferred peer pool relative to the base
+	// background population (1.0 doubles the potential swarm). The
+	// experiment layer synthesizes the pool via world.Spec.ExtraPeers.
+	ExtraPeerFactor float64
+
+	// Buckets is the number of time-series sample buckets over the run
+	// (0 selects DefaultBuckets; clamped to MaxBuckets so per-run summary
+	// memory stays bounded no matter what a spec asks for).
+	Buckets int
+
+	Events []Event
+}
+
+// Time-series bucket bounds. MaxBuckets caps the memory every run summary
+// retains; DefaultBuckets matches the granularity of the paper's per-hour
+// observations scaled to short runs.
+const (
+	DefaultBuckets = 12
+	MaxBuckets     = 96
+)
+
+// BucketCount resolves the spec's bucket request against the bounds.
+func (s *Spec) BucketCount() int {
+	b := s.Buckets
+	if b <= 0 {
+		b = DefaultBuckets
+	}
+	if b > MaxBuckets {
+		b = MaxBuckets
+	}
+	return b
+}
+
+// Validate checks the spec is compilable; it reports the first offending
+// event by index.
+func (s *Spec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: spec without a name")
+	}
+	if s.ExtraPeerFactor < 0 {
+		return fmt.Errorf("scenario %s: negative ExtraPeerFactor %v", s.Name, s.ExtraPeerFactor)
+	}
+	for i, ev := range s.Events {
+		if err := ev.validate(); err != nil {
+			return fmt.Errorf("scenario %s: event %d: %w", s.Name, i, err)
+		}
+	}
+	// Windowed incident kinds toggle absolute state (block/unblock, pause/
+	// resume, throttle/restore), so two live windows of the same kind would
+	// end each other early. Reject the overlap loudly instead of running a
+	// timeline that silently means something else. Touching windows count
+	// as overlapping: same-instant ordering would depend on event order.
+	windowed := func(k Kind) bool { return k == Partition || k == Throttle || k == TrackerOutage }
+	for i, a := range s.Events {
+		if !windowed(a.Kind) {
+			continue
+		}
+		for j := i + 1; j < len(s.Events); j++ {
+			b := s.Events[j]
+			if b.Kind != a.Kind {
+				continue
+			}
+			if a.From <= b.To && b.From <= a.To {
+				return fmt.Errorf("scenario %s: events %d and %d: overlapping %v windows [%v, %v] and [%v, %v]",
+					s.Name, i, j, a.Kind, a.From, a.To, b.From, b.To)
+			}
+		}
+	}
+	return nil
+}
+
+func (ev Event) validate() error {
+	if ev.From < 0 || ev.To > 1 || ev.From > ev.To {
+		return fmt.Errorf("%v: bad window [%v, %v]", ev.Kind, ev.From, ev.To)
+	}
+	switch ev.Kind {
+	case Arrivals:
+		if ev.Peers > 1 {
+			return fmt.Errorf("arrivals: pool share %v exceeds 1", ev.Peers)
+		}
+		if ev.MeanStay < 0 {
+			return fmt.Errorf("arrivals: negative mean stay %v", ev.MeanStay)
+		}
+	case Departures:
+		if ev.Fraction <= 0 || ev.Fraction > 1 {
+			return fmt.Errorf("departures: fraction %v outside (0, 1]", ev.Fraction)
+		}
+	case Partition:
+		if ev.Country == "" && ev.ASes <= 0 {
+			return fmt.Errorf("partition: no target (set Country or ASes)")
+		}
+		if ev.From == ev.To {
+			return fmt.Errorf("partition: zero-length window")
+		}
+	case Throttle:
+		if ev.Factor <= 0 {
+			return fmt.Errorf("throttle: non-positive factor %v", ev.Factor)
+		}
+		if ev.Fraction <= 0 || ev.Fraction > 1 {
+			return fmt.Errorf("throttle: fraction %v outside (0, 1]", ev.Fraction)
+		}
+	case TrackerOutage:
+		if ev.From == ev.To {
+			return fmt.Errorf("tracker-outage: zero-length window")
+		}
+	default:
+		return fmt.Errorf("unknown event kind %d", int(ev.Kind))
+	}
+	return nil
+}
+
+// at converts a horizon fraction to an absolute offset.
+func at(frac float64, horizon time.Duration) time.Duration {
+	return time.Duration(frac * float64(horizon))
+}

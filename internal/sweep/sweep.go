@@ -23,6 +23,7 @@ import (
 	"napawine/internal/overlay"
 	"napawine/internal/report"
 	"napawine/internal/runner"
+	"napawine/internal/scenario"
 	"napawine/internal/stats"
 )
 
@@ -57,6 +58,12 @@ type Spec struct {
 	// Variants, when non-empty, replaces the stock run of every app with
 	// one run per variant. Include a zero Variant to keep the stock run.
 	Variants []Variant
+
+	// Scenario names a registered workload scenario to replay under every
+	// (app, variant, seed) triple ("" = the stationary default). Scenario
+	// runs additionally sample per-bucket time series, aggregated by
+	// SeriesTable.
+	Scenario string
 }
 
 // seeds resolves the trial seed list.
@@ -120,6 +127,17 @@ func Run(spec Spec) (*Result, error) {
 	appList := spec.apps()
 	variants := spec.variants()
 
+	// Resolve the scenario once; the spec is read-only during the sweep, so
+	// every parallel worker can share it safely.
+	var scn *scenario.Spec
+	if spec.Scenario != "" {
+		var err error
+		scn, err = scenario.ByName(spec.Scenario)
+		if err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+	}
+
 	type task struct {
 		group int
 		app   string
@@ -151,6 +169,7 @@ func Run(spec Spec) (*Result, error) {
 		cfg := experiment.Default(t.app)
 		cfg.Seed = t.seed
 		cfg.World.Seed = t.seed
+		cfg.Scenario = scn
 		if spec.Duration > 0 {
 			cfg.Duration = spec.Duration
 		}
@@ -268,6 +287,62 @@ func (r *Result) TableIV() *report.Table {
 					report.MeanErrOrDash(acc.Mean(), acc.StdErr(), 1, acc.N() > 0))
 			}
 			t.Add(cells...)
+		}
+	}
+	return t
+}
+
+// SeriesTable renders the aggregated per-bucket time series of a scenario
+// sweep: each (bucket, group) cell is the mean ± stderr across seeds. The
+// intra-AS column aggregates only the trials whose bucket moved video (the
+// same measurable-trials rule Table IV uses); a bucket no trial measured
+// prints the dash. Returns nil when the sweep ran no scenario.
+func (r *Result) SeriesTable() *report.Table {
+	buckets := 0
+	name := r.Spec.Scenario
+	for _, g := range r.Groups {
+		for _, s := range g.Summaries {
+			if len(s.Series) > buckets {
+				buckets = len(s.Series)
+			}
+		}
+	}
+	if buckets == 0 {
+		return nil
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Time series — scenario %q (mean±stderr over %d seeds)", name, r.Trials()),
+		"T", "App", "Online", "Continuity", "Intra-AS%", "Video kbps", "Tracker")
+	for b := 0; b < buckets; b++ {
+		for _, g := range r.Groups {
+			var online, cont, intra, kbps stats.Accumulator
+			label := ""
+			trackerUp := true
+			for _, s := range g.Summaries {
+				if b >= len(s.Series) {
+					continue
+				}
+				smp := s.Series[b]
+				label = smp.T.String()
+				// Tracker state is part of the scenario timeline, not the
+				// seed, so every trial agrees; keep the last seen.
+				trackerUp = smp.TrackerUp
+				online.Add(float64(smp.Online))
+				cont.Add(smp.Continuity)
+				kbps.Add(smp.VideoKbps)
+				if smp.IntraASValid {
+					intra.Add(smp.IntraASPct)
+				}
+			}
+			if online.N() == 0 {
+				continue
+			}
+			t.Add(label, g.Label,
+				meanErr(online, 0),
+				meanErr(cont, 3),
+				report.MeanErrOrDash(intra.Mean(), intra.StdErr(), 1, intra.N() > 0),
+				meanErr(kbps, 0),
+				experiment.TrackerMark(trackerUp))
 		}
 	}
 	return t

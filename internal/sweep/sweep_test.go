@@ -193,3 +193,84 @@ func TestSweepDeterministic(t *testing.T) {
 		t.Errorf("aggregated tables should carry error bars:\n%s", ra)
 	}
 }
+
+// TestScenarioSeriesDeterministicAcrossWorkers is the contract behind the
+// CLI's headline: the same scenario spec and seeds must reproduce
+// byte-identical time-series and awareness tables no matter how the trials
+// are spread over workers.
+func TestScenarioSeriesDeterministicAcrossWorkers(t *testing.T) {
+	base := Spec{
+		Apps:       []string{"TVAnts"},
+		Seeds:      []int64{3, 4},
+		Duration:   30 * time.Second,
+		PeerFactor: 0.05,
+		Scenario:   "flashcrowd",
+	}
+	render := func(workers int) string {
+		spec := base
+		spec.Workers = workers
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series := res.SeriesTable()
+		if series == nil {
+			t.Fatal("scenario sweep produced no series table")
+		}
+		var b strings.Builder
+		for _, err := range []error{
+			series.Render(&b),
+			res.TableIV().Render(&b),
+		} {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.String()
+	}
+	serial, parallel := render(1), render(4)
+	if serial != parallel {
+		t.Errorf("worker count changed scenario output:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+			serial, parallel)
+	}
+	if !strings.Contains(serial, "flashcrowd") {
+		t.Errorf("series table does not name the scenario:\n%s", serial)
+	}
+}
+
+func TestSweepWithoutScenarioHasNoSeriesTable(t *testing.T) {
+	res := synthetic()
+	if tab := res.SeriesTable(); tab != nil {
+		t.Errorf("scenario-less sweep grew a series table: %v", tab.Title)
+	}
+}
+
+func TestSweepUnknownScenario(t *testing.T) {
+	_, err := Run(Spec{Apps: []string{"TVAnts"}, Trials: 1, Scenario: "worldcup"})
+	if err == nil || !strings.Contains(err.Error(), "worldcup") {
+		t.Errorf("unknown scenario should fail fast, got %v", err)
+	}
+}
+
+// TestSweepSeriesShowsTrackerOutage: the aggregated series must carry the
+// tracker column, or outage windows would be invisible in replicated runs.
+func TestSweepSeriesShowsTrackerOutage(t *testing.T) {
+	res, err := Run(Spec{
+		Apps:       []string{"TVAnts"},
+		Seeds:      []int64{6},
+		Duration:   40 * time.Second,
+		PeerFactor: 0.05,
+		Scenario:   "outage",
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var b strings.Builder
+	if err := res.SeriesTable().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	out := b.String()
+	if !strings.Contains(out, "DOWN") || !strings.Contains(out, "up") {
+		t.Errorf("aggregated outage series does not show the tracker window:\n%s", out)
+	}
+}

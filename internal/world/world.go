@@ -42,6 +42,15 @@ type Spec struct {
 	// contributor sets (the P′/B′ AS rows of Table IV) would be
 	// structurally empty.
 	ProbeASBackground int
+
+	// ExtraPeers synthesizes a deferred peer pool on top of the base
+	// background: hosts drawn from the same country mix and link
+	// distribution, materialized in World.Deferred but never started by the
+	// experiment's default arrival schedule. Workload scenarios (flash
+	// crowds, diurnal waves) activate them over time. The pool is generated
+	// strictly after the base world, so for a given Seed the base
+	// population is byte-identical whether ExtraPeers is 0 or not.
+	ExtraPeers int
 }
 
 // DefaultMix is the China-dominant audience of a CCTV-1 broadcast at China
@@ -73,6 +82,9 @@ type World struct {
 	Topo       *topology.Topology
 	Probes     []Probe
 	Background []Peer
+	// Deferred is the scenario-activated peer pool (Spec.ExtraPeers): built
+	// like Background but left offline until a scenario schedules arrivals.
+	Deferred []Peer
 	// SourceHost/SourceLink describe the stream injection point (a
 	// well-provisioned host in the channel's home country).
 	SourceHost topology.Host
@@ -113,6 +125,9 @@ var institutionalLinks = []access.Link{
 func Build(spec Spec) (*World, error) {
 	if spec.Peers < 0 {
 		return nil, fmt.Errorf("world: negative peer count %d", spec.Peers)
+	}
+	if spec.ExtraPeers < 0 {
+		return nil, fmt.Errorf("world: negative extra peer count %d", spec.ExtraPeers)
 	}
 	if spec.HighBwFraction < 0 || spec.HighBwFraction > 1 {
 		return nil, fmt.Errorf("world: HighBwFraction %v out of [0,1]", spec.HighBwFraction)
@@ -268,7 +283,7 @@ func Build(spec Spec) (*World, error) {
 		}
 		return buckets[len(buckets)-1]
 	}
-	for i := 0; i < spec.Peers; i++ {
+	placePeer := func(i int) (Peer, error) {
 		bk := pickBucket()
 		sn := bk.subnets[rng.Intn(len(bk.subnets))]
 		h, err := topo.NewHost(sn)
@@ -283,10 +298,17 @@ func Build(spec Spec) (*World, error) {
 				}
 			}
 			if !placed {
-				return nil, fmt.Errorf("world: cannot place background peer %d: %v", i, err)
+				return Peer{}, fmt.Errorf("world: cannot place background peer %d: %v", i, err)
 			}
 		}
-		w.Background = append(w.Background, Peer{Host: h, Link: sampleLink(rng, spec)})
+		return Peer{Host: h, Link: sampleLink(rng, spec)}, nil
+	}
+	for i := 0; i < spec.Peers; i++ {
+		p, err := placePeer(i)
+		if err != nil {
+			return nil, err
+		}
+		w.Background = append(w.Background, p)
 	}
 
 	// Source: well-provisioned host in the mix's first (dominant) country.
@@ -297,6 +319,16 @@ func Build(spec Spec) (*World, error) {
 	}
 	w.SourceHost = srcHost
 	w.SourceLink = access.LAN1000
+
+	// Deferred pool last: everything above must be byte-identical for a
+	// given seed whether or not a scenario asked for extra peers.
+	for i := 0; i < spec.ExtraPeers; i++ {
+		p, err := placePeer(spec.Peers + i)
+		if err != nil {
+			return nil, err
+		}
+		w.Deferred = append(w.Deferred, p)
+	}
 
 	return w, nil
 }

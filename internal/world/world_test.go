@@ -270,3 +270,50 @@ func BenchmarkBuildWorld2000(b *testing.B) {
 		}
 	}
 }
+
+func TestDeferredPoolLeavesBaseWorldIdentical(t *testing.T) {
+	base, err := Build(smallSpec(9, 200))
+	if err != nil {
+		t.Fatal(err)
+	}
+	spec := smallSpec(9, 200)
+	spec.ExtraPeers = 150
+	grown, err := Build(spec)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(grown.Deferred) != 150 {
+		t.Fatalf("deferred pool = %d peers, want 150", len(grown.Deferred))
+	}
+	if len(base.Deferred) != 0 {
+		t.Fatalf("base world grew a deferred pool of %d", len(base.Deferred))
+	}
+	if len(base.Background) != len(grown.Background) {
+		t.Fatal("background sizes differ once a deferred pool is requested")
+	}
+	for i := range base.Background {
+		if base.Background[i] != grown.Background[i] {
+			t.Fatalf("background peer %d differs once a deferred pool is requested", i)
+		}
+	}
+	if base.SourceHost != grown.SourceHost {
+		t.Error("source host moved once a deferred pool is requested")
+	}
+	// Deferred peers are real, located hosts drawn from the same mix.
+	for i, p := range grown.Deferred {
+		if _, ok := grown.Topo.Locate(p.Host.Addr); !ok {
+			t.Fatalf("deferred peer %d has an unlocatable address", i)
+		}
+		if grown.IsProbe(p.Host.Addr) {
+			t.Fatalf("deferred peer %d collides with the probe set", i)
+		}
+	}
+}
+
+func TestDeferredPoolValidation(t *testing.T) {
+	spec := smallSpec(1, 10)
+	spec.ExtraPeers = -1
+	if _, err := Build(spec); err == nil {
+		t.Error("negative extra peers should fail")
+	}
+}

@@ -30,6 +30,7 @@ import (
 	"napawine/internal/policy"
 	"napawine/internal/report"
 	"napawine/internal/runner"
+	"napawine/internal/scenario"
 	"napawine/internal/sweep"
 )
 
@@ -113,13 +114,33 @@ type Scale struct {
 	PeerFactor float64
 	// Workers bounds parallel experiments (0 = GOMAXPROCS).
 	Workers int
+	// Scenario names a registered workload scenario to replay in every
+	// run ("" = stationary default). See ScenarioNames.
+	Scenario string
+	// Apps restricts the battery to these applications (nil = all three).
+	// Restricting here skips the unwanted simulations entirely instead of
+	// filtering their results afterwards. Results come back in the paper's
+	// order regardless of the order given here.
+	Apps []string
 }
 
-// RunAll executes the three applications' experiments in parallel and
+// RunAll executes the selected applications' experiments in parallel and
 // returns them in the paper's order.
 func RunAll(s Scale) ([]*Result, error) {
-	cfgs := make([]Config, 0, 3)
-	for _, app := range Apps() {
+	var scn *ScenarioSpec
+	if s.Scenario != "" {
+		var err error
+		scn, err = ScenarioByName(s.Scenario)
+		if err != nil {
+			return nil, err
+		}
+	}
+	appList := s.Apps
+	if len(appList) == 0 {
+		appList = Apps()
+	}
+	cfgs := make([]Config, 0, len(appList))
+	for _, app := range appList {
 		cfg := experiment.Default(app)
 		if s.Seed != 0 {
 			cfg.Seed = s.Seed
@@ -129,6 +150,7 @@ func RunAll(s Scale) ([]*Result, error) {
 			cfg.Duration = s.Duration
 		}
 		cfg.ScalePeers(s.PeerFactor)
+		cfg.Scenario = scn
 		cfgs = append(cfgs, cfg)
 	}
 	results, err := runner.Parallel(cfgs, s.Workers, experiment.Run)
@@ -162,6 +184,40 @@ func Sweep(spec SweepSpec) (*SweepResult, error) { return sweep.Run(spec) }
 // Seeds builds n sequential trial seeds starting at base, the conventional
 // input for SweepSpec.Seeds.
 func Seeds(base int64, n int) []int64 { return runner.Seeds(base, n) }
+
+// Re-exported scenario types: the declarative workload-timeline layer.
+type (
+	// ScenarioSpec is a named, seedable workload timeline (flash crowd,
+	// diurnal wave, AS partition, tracker outage, ...).
+	ScenarioSpec = scenario.Spec
+	// ScenarioEvent is one timeline entry of a ScenarioSpec.
+	ScenarioEvent = scenario.Event
+	// SeriesSample is one time-series bucket of a scenario run.
+	SeriesSample = experiment.SeriesSample
+)
+
+// Scenario event kinds and arrival shapes, for building custom timelines.
+const (
+	ScenarioArrivals      = scenario.Arrivals
+	ScenarioDepartures    = scenario.Departures
+	ScenarioPartition     = scenario.Partition
+	ScenarioThrottle      = scenario.Throttle
+	ScenarioTrackerOutage = scenario.TrackerOutage
+
+	ShapeUniform = scenario.ShapeUniform
+	ShapeBurst   = scenario.ShapeBurst
+	ShapeWave    = scenario.ShapeWave
+)
+
+// ScenarioNames lists the registered workload scenarios.
+func ScenarioNames() []string { return scenario.Names() }
+
+// ScenarioByName returns a fresh copy of a registered workload scenario.
+func ScenarioByName(name string) (*ScenarioSpec, error) { return scenario.ByName(name) }
+
+// SeriesTable renders the per-bucket time series of scenario runs that
+// share a scenario and duration.
+func SeriesTable(results []*Result) *Table { return experiment.SeriesTable(results) }
 
 // Summarize reduces one Result to its sweep summary.
 func Summarize(r *Result) RunSummary { return experiment.Summarize(r) }
