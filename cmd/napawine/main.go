@@ -11,6 +11,8 @@
 //	napawine -seeds 5 -workers 4         # replicated sweep, tables with ±stderr
 //	napawine -scenario flashcrowd        # inject a workload scenario + time series
 //	napawine -scenario-list              # show the scenario registry
+//	napawine -strategy rarest            # swap the chunk-scheduling strategy
+//	napawine -strategy-list              # show the strategy registry
 //
 // Deterministic: the same -seed regenerates identical tables; the same
 // -seed/-seeds pair regenerates identical sweep tables — scenario or not,
@@ -32,10 +34,10 @@ import (
 // validExps lists the accepted -exp values, in help order.
 var validExps = []string{"table1", "table2", "table3", "table4", "fig1", "fig2", "hopsweep", "all"}
 
-// validateArgs rejects unknown -exp, application and -scenario values with
-// an error that lists the valid choices, before any simulation starts. A
-// typo must be a loud usage error, never a silently empty run.
-func validateArgs(exp string, appList []string, scenarioName string) error {
+// validateArgs rejects unknown -exp, application, -scenario and -strategy
+// values with an error that lists the valid choices, before any simulation
+// starts. A typo must be a loud usage error, never a silently empty run.
+func validateArgs(exp string, appList []string, scenarioName, strategyName string) error {
 	ok := false
 	for _, v := range validExps {
 		if exp == v {
@@ -61,6 +63,15 @@ func validateArgs(exp string, appList []string, scenarioName string) error {
 		}
 		if exp == "table1" {
 			return fmt.Errorf("-scenario runs no simulation under -exp table1 (the testbed inventory is static)")
+		}
+	}
+	if strategyName != "" {
+		if _, err := napawine.StrategyByName(strategyName); err != nil {
+			return fmt.Errorf("unknown -strategy %q (valid: %s)",
+				strategyName, strings.Join(napawine.StrategyNames(), ", "))
+		}
+		if exp == "table1" {
+			return fmt.Errorf("-strategy runs no simulation under -exp table1 (the testbed inventory is static)")
 		}
 	}
 	return nil
@@ -95,6 +106,16 @@ func scenarioList() string {
 	return b.String()
 }
 
+// strategyList renders the registry for -strategy-list.
+func strategyList() string {
+	var b strings.Builder
+	b.WriteString("registered chunk strategies:\n")
+	for _, name := range napawine.StrategyNames() {
+		fmt.Fprintf(&b, "  %-14s %s\n", name, napawine.StrategyDescription(name))
+	}
+	return b.String()
+}
+
 func main() {
 	var (
 		exp       = flag.String("exp", "all", "experiment: "+strings.Join(validExps, "|"))
@@ -107,6 +128,8 @@ func main() {
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		scn       = flag.String("scenario", "", "workload scenario to inject (see -scenario-list)")
 		listScens = flag.Bool("scenario-list", false, "list registered workload scenarios and exit")
+		strat     = flag.String("strategy", "", "chunk-scheduling strategy (see -strategy-list)")
+		listStrat = flag.Bool("strategy-list", false, "list registered chunk strategies and exit")
 	)
 	flag.Parse()
 
@@ -114,9 +137,13 @@ func main() {
 		fmt.Print(scenarioList())
 		return
 	}
+	if *listStrat {
+		fmt.Print(strategyList())
+		return
+	}
 
 	appList := parseApps(*appsFlag)
-	if err := validateArgs(*exp, appList, *scn); err != nil {
+	if err := validateArgs(*exp, appList, *scn, *strat); err != nil {
 		fmt.Fprintln(os.Stderr, "napawine:", err)
 		flag.Usage()
 		os.Exit(2)
@@ -128,7 +155,7 @@ func main() {
 	}
 
 	if *seeds > 1 {
-		runSweep(appList, *seed, *seeds, *duration, *factor, *workers, *exp, *csv, *scn)
+		runSweep(appList, *seed, *seeds, *duration, *factor, *workers, *exp, *csv, *scn, *strat)
 		return
 	}
 
@@ -137,10 +164,13 @@ func main() {
 	if *scn != "" {
 		fmt.Fprintf(os.Stderr, "scenario: %s\n", *scn)
 	}
+	if *strat != "" {
+		fmt.Fprintf(os.Stderr, "strategy: %s\n", *strat)
+	}
 	start := time.Now()
 	results, err := napawine.RunAll(napawine.Scale{
 		Seed: *seed, Duration: *duration, PeerFactor: *factor, Workers: *workers,
-		Scenario: *scn, Apps: appList,
+		Scenario: *scn, Strategy: *strat, Apps: appList,
 	})
 	if err != nil {
 		fatal(err)
@@ -211,7 +241,7 @@ func main() {
 // runSweep executes the replicated multi-seed battery and renders the
 // aggregated (mean ± stderr) tables. Figures and the hop sweep are
 // single-run reductions and are not replicated here.
-func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, workers int, exp string, csv bool, scn string) {
+func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, workers int, exp string, csv bool, scn, strat string) {
 	if exp == "fig1" || exp == "fig2" || exp == "hopsweep" {
 		fatal(fmt.Errorf("-exp %s is a single-run reduction; drop -seeds or use -seeds 1", exp))
 	}
@@ -219,6 +249,9 @@ func runSweep(appList []string, seed int64, trials int, duration time.Duration, 
 		strings.Join(appList, ","), trials, duration, seed, factor)
 	if scn != "" {
 		fmt.Fprintf(os.Stderr, "scenario: %s\n", scn)
+	}
+	if strat != "" {
+		fmt.Fprintf(os.Stderr, "strategy: %s\n", strat)
 	}
 	start := time.Now()
 	res, err := napawine.Sweep(napawine.SweepSpec{
@@ -229,6 +262,7 @@ func runSweep(appList []string, seed int64, trials int, duration time.Duration, 
 		PeerFactor: factor,
 		Workers:    workers,
 		Scenario:   scn,
+		Strategy:   strat,
 	})
 	if err != nil {
 		fatal(err)

@@ -10,20 +10,22 @@ func TestValidateArgsAcceptsValidCombos(t *testing.T) {
 		exp      string
 		apps     []string
 		scenario string
+		strategy string
 	}{
-		{"all", []string{"PPLive", "SopCast", "TVAnts"}, ""},
-		{"table4", []string{"TVAnts"}, "flashcrowd"},
-		{"table1", []string{"PPLive"}, ""},
-		{"hopsweep", []string{"SopCast"}, "steady"},
+		{"all", []string{"PPLive", "SopCast", "TVAnts"}, "", ""},
+		{"table4", []string{"TVAnts"}, "flashcrowd", ""},
+		{"table1", []string{"PPLive"}, "", ""},
+		{"hopsweep", []string{"SopCast"}, "steady", "rarest"},
+		{"table2", []string{"PPLive"}, "", "latest-useful"},
 	} {
-		if err := validateArgs(tc.exp, tc.apps, tc.scenario); err != nil {
+		if err := validateArgs(tc.exp, tc.apps, tc.scenario, tc.strategy); err != nil {
 			t.Errorf("validateArgs(%q, %v, %q) = %v, want nil", tc.exp, tc.apps, tc.scenario, err)
 		}
 	}
 }
 
 func TestValidateArgsRejectsUnknownExp(t *testing.T) {
-	err := validateArgs("tabel4", []string{"PPLive"}, "")
+	err := validateArgs("tabel4", []string{"PPLive"}, "", "")
 	if err == nil {
 		t.Fatal("typo'd -exp accepted")
 	}
@@ -35,7 +37,7 @@ func TestValidateArgsRejectsUnknownExp(t *testing.T) {
 }
 
 func TestValidateArgsRejectsUnknownApp(t *testing.T) {
-	err := validateArgs("all", []string{"PPLive", "Joost"}, "")
+	err := validateArgs("all", []string{"PPLive", "Joost"}, "", "")
 	if err == nil {
 		t.Fatal("unknown app accepted")
 	}
@@ -47,13 +49,13 @@ func TestValidateArgsRejectsUnknownApp(t *testing.T) {
 }
 
 func TestValidateArgsRejectsEmptyApps(t *testing.T) {
-	if err := validateArgs("all", nil, ""); err == nil {
+	if err := validateArgs("all", nil, "", ""); err == nil {
 		t.Error("empty app list accepted")
 	}
 }
 
 func TestValidateArgsRejectsUnknownScenario(t *testing.T) {
-	err := validateArgs("all", []string{"PPLive"}, "worldcup")
+	err := validateArgs("all", []string{"PPLive"}, "worldcup", "")
 	if err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
@@ -84,7 +86,34 @@ func TestScenarioListNamesEveryScenario(t *testing.T) {
 }
 
 func TestValidateArgsRejectsScenarioWithTable1(t *testing.T) {
-	if err := validateArgs("table1", []string{"PPLive"}, "flashcrowd"); err == nil {
+	if err := validateArgs("table1", []string{"PPLive"}, "flashcrowd", ""); err == nil {
 		t.Error("-scenario with -exp table1 accepted (it would be silently ignored)")
+	}
+}
+
+func TestValidateArgsRejectsUnknownStrategy(t *testing.T) {
+	err := validateArgs("all", []string{"PPLive"}, "", "newest")
+	if err == nil {
+		t.Fatal("unknown strategy accepted")
+	}
+	for _, want := range []string{"newest", "urgent-random", "latest-useful", "rarest", "deadline"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("usage error %q missing %q", err, want)
+		}
+	}
+}
+
+func TestValidateArgsRejectsStrategyWithTable1(t *testing.T) {
+	if err := validateArgs("table1", []string{"PPLive"}, "", "rarest"); err == nil {
+		t.Error("-strategy with -exp table1 accepted (it would be silently ignored)")
+	}
+}
+
+func TestStrategyListNamesEveryStrategy(t *testing.T) {
+	out := strategyList()
+	for _, name := range []string{"urgent-random", "latest-useful", "rarest", "deadline"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-strategy-list output missing %q:\n%s", name, out)
+		}
 	}
 }

@@ -78,6 +78,7 @@ func PPLive() *overlay.Profile {
 		BestFill:         3,
 		RequestTimeout:   4 * time.Second,
 
+		ChunkStrategy:   policy.DefaultStrategy(),
 		DiscoveryWeight: policy.Uniform{},
 		RequestWeight:   policy.Product{bwRequest(), policy.ASBias{Factor: 30}},
 		RetainWeight:    policy.Product{bwRetain(), policy.ASBias{Factor: 8}},
@@ -105,6 +106,7 @@ func SopCast() *overlay.Profile {
 		BestFill:         2,
 		RequestTimeout:   4 * time.Second,
 
+		ChunkStrategy:   policy.DefaultStrategy(),
 		DiscoveryWeight: policy.Uniform{},
 		RequestWeight:   bwRequest(),
 		RetainWeight:    bwRetain(),
@@ -132,6 +134,7 @@ func TVAnts() *overlay.Profile {
 		BestFill:         2,
 		RequestTimeout:   4 * time.Second,
 
+		ChunkStrategy:   policy.DefaultStrategy(),
 		DiscoveryWeight: policy.ASBias{Factor: 15},
 		RequestWeight:   policy.Product{bwRequest(), policy.ASBias{Factor: 4}},
 		RetainWeight:    policy.Product{bwRetain(), policy.ASBias{Factor: 4}},

@@ -182,9 +182,20 @@ func (m *BufferMap) Missing(from, to ChunkID) []ChunkID {
 // Snapshot encodes the holdings as (base, bitset copy); used to serialize
 // buffer-map signaling packets' payload size and to diff against a partner.
 func (m *BufferMap) Snapshot() (ChunkID, []uint64) {
-	cp := make([]uint64, len(m.bits))
-	copy(cp, m.bits)
-	return m.base, cp
+	return m.SnapshotInto(nil)
+}
+
+// SnapshotInto is the allocation-free Snapshot: the bitset is copied into
+// dst (grown only when too small) and the filled slice is returned.
+// Signaling loops that fire every second per node thread one scratch
+// buffer through it instead of allocating a copy per tick.
+func (m *BufferMap) SnapshotInto(dst []uint64) (ChunkID, []uint64) {
+	if cap(dst) < len(m.bits) {
+		dst = make([]uint64, len(m.bits))
+	}
+	dst = dst[:len(m.bits)]
+	copy(dst, m.bits)
+	return m.base, dst
 }
 
 // WireSize reports the bytes a buffer-map announcement occupies on the

@@ -18,6 +18,7 @@ import (
 	"napawine/internal/core"
 	"napawine/internal/overlay"
 	"napawine/internal/packet"
+	"napawine/internal/policy"
 	"napawine/internal/scenario"
 	"napawine/internal/sim"
 	"napawine/internal/sniffer"
@@ -37,6 +38,13 @@ type Config struct {
 	// scale still come from App's defaults, the behaviour from Profile.
 	Profile *overlay.Profile
 
+	// Strategy names a registered chunk-scheduling strategy
+	// (policy.StrategyNames) that overrides the profile's: how a peer
+	// spends its per-tick request budget across the pull window. ""
+	// keeps the profile's own strategy (urgent-random for the stock
+	// profiles), so default runs stay byte-identical.
+	Strategy string
+
 	// Scenario, when non-nil, injects a declarative workload timeline
 	// (flash crowd, diurnal wave, partition, tracker outage, ...) into the
 	// run and turns on per-bucket time-series sampling (Result.Series).
@@ -49,6 +57,7 @@ type Config struct {
 	// Overlay constants (zero values select defaults).
 	BufferWindow  int
 	TrackerBatch  int
+	ContactFanout int
 	JitterMax     time.Duration
 	UplinkBusyCap time.Duration
 
@@ -240,6 +249,17 @@ func Run(cfg Config) (*Result, error) {
 			return nil, err
 		}
 	}
+	if cfg.Strategy != "" {
+		strat, err := policy.StrategyByName(cfg.Strategy)
+		if err != nil {
+			return nil, fmt.Errorf("experiment: %w", err)
+		}
+		// Copy before mutating: the profile may be shared by other runs of
+		// a parallel battery.
+		cp := *prof
+		cp.ChunkStrategy = strat
+		prof = &cp
+	}
 	if cfg.Scenario != nil {
 		if err := cfg.Scenario.Validate(); err != nil {
 			return nil, fmt.Errorf("experiment: %w", err)
@@ -259,6 +279,7 @@ func Run(cfg Config) (*Result, error) {
 		Calendar:      cal,
 		BufferWindow:  cfg.BufferWindow,
 		TrackerBatch:  cfg.TrackerBatch,
+		ContactFanout: cfg.ContactFanout,
 		JitterMax:     cfg.JitterMax,
 		UplinkBusyCap: cfg.UplinkBusyCap,
 	})

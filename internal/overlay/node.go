@@ -2,7 +2,8 @@ package overlay
 
 import (
 	"fmt"
-	"sort"
+	"math"
+	"slices"
 	"time"
 
 	"napawine/internal/access"
@@ -23,16 +24,21 @@ type partner struct {
 	// info carries the locality facts plus the running delivery-rate
 	// estimate that selection policies consume.
 	info policy.Info
+	// reqW and retW cache the profile's request- and retain-time weights
+	// for this pair. The locality facts in info are immutable from the
+	// moment the partnership forms, so the caches go stale only when
+	// info.EstRate moves — every such site calls rescore, which also
+	// repositions the partner in the weight-ordered request index.
+	reqW, retW float64
 	// consecutive failures (timeouts/rejections) since the last success.
 	failures int
 }
 
-// pendingReq tracks one outstanding chunk request.
+// pendingReq tracks one outstanding chunk request. Stored by value in the
+// inflight map (keyed by chunk id) so issuing a request allocates nothing.
 type pendingReq struct {
-	chunk    chunkstream.ChunkID
-	from     PeerID
-	sentAt   sim.Time
-	timedOut bool
+	from   PeerID
+	sentAt sim.Time
 }
 
 // Node is one peer in the swarm.
@@ -48,12 +54,40 @@ type Node struct {
 	buf  *chunkstream.BufferMap
 	play *chunkstream.Playout
 
-	partners  map[PeerID]*partner
+	partners map[PeerID]*partner
+	// byID is the partner set ordered by peer id — the deterministic
+	// iteration backbone. Every loop that consumes randomness or emits
+	// events walks it instead of ranging over the partners map: Go map
+	// order is randomized per run, and leaking it into the event sequence
+	// would break seed-reproducibility. Maintained incrementally on
+	// partner add/drop; never rebuilt.
+	byID []*partner
+	// byReq is the same set ordered by (cached request weight descending,
+	// peer id ascending): the weight-ordered partner index. Its head is
+	// the greedy scheduler's best partner. Maintained incrementally on
+	// add/drop and whenever a delivery-rate update rescores a partner.
+	// Churn-time worst-partner selection instead scans byID with the
+	// cached retain weights: retain order generally differs from request
+	// order, and a full second index would cost more to maintain than the
+	// O(partners) scan it replaces.
+	byReq     []*partner
 	neighbors []PeerID // contacted, remembered for keepalives (bounded)
-	inflight  map[chunkstream.ChunkID]*pendingReq
+	inflight  map[chunkstream.ChunkID]pendingReq
 	// rateMemory persists per-remote delivery-rate estimates across
 	// partnership episodes within one session.
 	rateMemory map[PeerID]units.BitRate
+
+	// Per-node scratch buffers: the selection hot path (scheduler ticks,
+	// chunk requests, partner churn) runs entirely inside these, so
+	// steady-state selection allocates nothing. The engine is
+	// single-threaded, and no tick re-enters another, so one set per node
+	// is safe.
+	scorer   policy.Scorer
+	reqOrder []*partner            // candidate order of one requestChunk round
+	refs     []policy.ChunkRef     // missing chunks of one scheduler tick
+	expired  []chunkstream.ChunkID // timed-out requests of one tick
+	dropIDs  []PeerID              // dead partners collected before dropping
+	snapBits []uint64              // buffer-map snapshot words
 
 	isSource bool
 	online   bool
@@ -146,8 +180,10 @@ func (nd *Node) Join() {
 		start = 0
 	}
 	nd.play = chunkstream.NewPlayout(start)
-	nd.inflight = make(map[chunkstream.ChunkID]*pendingReq)
+	nd.inflight = make(map[chunkstream.ChunkID]pendingReq)
 	nd.partners = make(map[PeerID]*partner)
+	nd.byID = nd.byID[:0]
+	nd.byReq = nd.byReq[:0]
 	nd.neighbors = nil
 	if nd.rateMemory == nil {
 		nd.rateMemory = make(map[PeerID]units.BitRate)
@@ -187,7 +223,9 @@ func (nd *Node) Leave() {
 	}
 	nd.cancels = nil
 	nd.partners = make(map[PeerID]*partner)
-	nd.inflight = make(map[chunkstream.ChunkID]*pendingReq)
+	nd.byID = nd.byID[:0]
+	nd.byReq = nd.byReq[:0]
+	nd.inflight = make(map[chunkstream.ChunkID]pendingReq)
 }
 
 // Retire takes the node offline for good: the viewer switched the program
@@ -287,19 +325,6 @@ func (nd *Node) ScheduleChurn(firstJoin time.Duration, meanOn, meanOff time.Dura
 	eng.Schedule(firstJoin, cycle)
 }
 
-// sortedPartners returns the partner set ordered by peer id. Every
-// iteration that consumes randomness or emits events must use this instead
-// of ranging over the map: Go map order is randomized per run, and leaking
-// it into the event sequence would break seed-reproducibility.
-func (nd *Node) sortedPartners() []*partner {
-	out := make([]*partner, 0, len(nd.partners))
-	for _, p := range nd.partners {
-		out = append(out, p)
-	}
-	sort.Slice(out, func(i, j int) bool { return out[i].node.ID < out[j].node.ID })
-	return out
-}
-
 // infoFor assembles the policy-visible facts about a remote node.
 func (nd *Node) infoFor(other *Node) policy.Info {
 	return policy.Info{
@@ -310,6 +335,75 @@ func (nd *Node) infoFor(other *Node) policy.Info {
 	}
 }
 
+// indexInsert places a freshly added partner into both orders.
+func (nd *Node) indexInsert(p *partner) {
+	i := 0
+	for i < len(nd.byID) && nd.byID[i].node.ID < p.node.ID {
+		i++
+	}
+	nd.byID = append(nd.byID, nil)
+	copy(nd.byID[i+1:], nd.byID[i:])
+	nd.byID[i] = p
+	nd.byReqInsert(p)
+}
+
+// indexRemove takes a departing partner out of both orders.
+func (nd *Node) indexRemove(p *partner) {
+	for i, q := range nd.byID {
+		if q == p {
+			nd.byID = append(nd.byID[:i], nd.byID[i+1:]...)
+			break
+		}
+	}
+	nd.byReqRemove(p)
+}
+
+// byReqInsert places p at its weight-ordered position: request weight
+// descending, peer id ascending on ties — so the head is always the
+// lowest-id partner of maximal weight, matching the historical
+// scan-in-id-order tie-break. NaN weights (reachable only through custom
+// Weight implementations) are kept in an id-ordered tail segment after
+// every real weight: naive float comparisons would otherwise strand
+// later-inserted partners behind a NaN and break the descending
+// invariant bestPartner's early exit relies on.
+func (nd *Node) byReqInsert(p *partner) {
+	pNaN := math.IsNaN(p.reqW)
+	i := 0
+	for i < len(nd.byReq) {
+		q := nd.byReq[i]
+		if qNaN := math.IsNaN(q.reqW); qNaN {
+			if !pNaN || q.node.ID > p.node.ID {
+				break
+			}
+		} else if !pNaN && (q.reqW < p.reqW || (q.reqW == p.reqW && q.node.ID > p.node.ID)) {
+			break
+		}
+		i++
+	}
+	nd.byReq = append(nd.byReq, nil)
+	copy(nd.byReq[i+1:], nd.byReq[i:])
+	nd.byReq[i] = p
+}
+
+func (nd *Node) byReqRemove(p *partner) {
+	for i, q := range nd.byReq {
+		if q == p {
+			nd.byReq = append(nd.byReq[:i], nd.byReq[i+1:]...)
+			return
+		}
+	}
+}
+
+// rescore refreshes a partner's cached weights after its delivery-rate
+// estimate moved, and repositions it in the weight-ordered index. This is
+// the single invalidation door: locality facts never change, so every
+// cache stays exact as long as each EstRate mutation ends here.
+func (nd *Node) rescore(p *partner) {
+	p.reqW, p.retW = policy.Score(nd.Profile.RequestWeight, nd.Profile.RetainWeight, p.info)
+	nd.byReqRemove(p)
+	nd.byReqInsert(p)
+}
+
 // refillPartners queries the tracker and adopts candidates, weighted by the
 // profile's DiscoveryWeight, until the partner target is met.
 func (nd *Node) refillPartners() {
@@ -318,7 +412,7 @@ func (nd *Node) refillPartners() {
 		return
 	}
 	cands := nd.net.trackerSample(nd, nd.net.Cfg.TrackerBatch)
-	pool := make([]policy.Candidate, 0, len(cands))
+	nd.scorer.Reset()
 	for i, c := range cands {
 		if _, dup := nd.partners[c.ID]; dup {
 			continue
@@ -326,9 +420,9 @@ func (nd *Node) refillPartners() {
 		if !c.Link.AcceptsFrom(nd.Link) {
 			continue
 		}
-		pool = append(pool, policy.Candidate{Index: i, Info: nd.infoFor(c)})
+		nd.scorer.Push(policy.Candidate{Index: i, Info: nd.infoFor(c)}, nd.Profile.DiscoveryWeight)
 	}
-	for _, pick := range policy.Sample(nd.net.Eng.Rand(), pool, need, nd.Profile.DiscoveryWeight) {
+	for _, pick := range nd.scorer.Sample(nd.net.Eng.Rand(), need) {
 		nd.handshake(cands[pick.Index])
 	}
 }
@@ -362,18 +456,34 @@ func (nd *Node) addPartner(other *Node) {
 	if nd.rateMemory != nil {
 		info.EstRate = nd.rateMemory[other.ID]
 	}
-	nd.partners[other.ID] = &partner{
+	p := &partner{
 		node: other,
 		have: chunkstream.NewBufferMap(0, nd.net.Cfg.BufferWindow),
 		info: info,
 	}
+	// Locality facts are settled for good at partnership formation; this
+	// is the once-per-pair weighing the selection loops reuse from here on.
+	p.reqW, p.retW = policy.Score(nd.Profile.RequestWeight, nd.Profile.RetainWeight, info)
+	nd.partners[other.ID] = p
+	nd.indexInsert(p)
 }
 
 func (nd *Node) dropPartner(id PeerID) {
-	delete(nd.partners, id)
+	nd.removePartner(id)
 	if other := nd.net.NodeByID(id); other != nil {
-		delete(other.partners, nd.ID)
+		other.removePartner(nd.ID)
 	}
+}
+
+// removePartner clears one side of a partnership, keeping map and indexes
+// in lockstep.
+func (nd *Node) removePartner(id PeerID) {
+	p, ok := nd.partners[id]
+	if !ok {
+		return
+	}
+	delete(nd.partners, id)
+	nd.indexRemove(p)
 }
 
 func (nd *Node) rememberNeighbor(id PeerID) {
@@ -402,7 +512,7 @@ func (nd *Node) contactTick() {
 	if !nd.online {
 		return
 	}
-	cands := nd.net.trackerSample(nd, 3)
+	cands := nd.net.trackerSample(nd, nd.net.Cfg.ContactFanout)
 	for _, c := range cands {
 		if _, dup := nd.partners[c.ID]; dup {
 			continue
@@ -442,6 +552,20 @@ func (nd *Node) contactTick() {
 	}
 }
 
+// dropDeadPartners forgets partners that went offline. Collect-then-drop
+// keeps the iteration off the live index while it mutates.
+func (nd *Node) dropDeadPartners() {
+	nd.dropIDs = nd.dropIDs[:0]
+	for _, p := range nd.byID {
+		if !p.node.online {
+			nd.dropIDs = append(nd.dropIDs, p.node.ID)
+		}
+	}
+	for _, id := range nd.dropIDs {
+		nd.dropPartner(id)
+	}
+}
+
 // signalingTick pushes the node's buffer map to each partner and keepalives
 // a random slice of the neighbor list.
 func (nd *Node) signalingTick() {
@@ -449,17 +573,15 @@ func (nd *Node) signalingTick() {
 		return
 	}
 	if nd.buf != nil {
-		base, bits := nd.buf.Snapshot()
+		nd.dropDeadPartners()
+		var base chunkstream.ChunkID
+		base, nd.snapBits = nd.buf.SnapshotInto(nd.snapBits)
 		size := nd.buf.WireSize() + 40 // header overhead
-		for _, p := range nd.sortedPartners() {
-			if !p.node.online {
-				nd.dropPartner(p.node.ID)
-				continue
-			}
+		for _, p := range nd.byID {
 			nd.net.sendSignal(nd, p.node, size)
 			// The partner learns our holdings.
 			if remote, ok := p.node.partners[nd.ID]; ok {
-				remote.have.LoadSnapshot(base, bits)
+				remote.have.LoadSnapshot(base, nd.snapBits)
 			}
 		}
 	}
@@ -476,27 +598,21 @@ func (nd *Node) signalingTick() {
 	}
 }
 
-// churnTick drops the least valuable partner (by RetainWeight) once the set
-// is full, then refills. Replacing the weakest contributor with a fresh
-// candidate is the adaptation loop that concentrates traffic on
-// high-bandwidth peers.
+// churnTick drops the least valuable partner (by the cached retain weights)
+// once the set is full, then refills. Replacing the weakest contributor
+// with a fresh candidate is the adaptation loop that concentrates traffic
+// on high-bandwidth peers.
 func (nd *Node) churnTick() {
 	if !nd.online {
 		return
 	}
-	// Forget dead partners first.
-	for _, p := range nd.sortedPartners() {
-		if !p.node.online {
-			nd.dropPartner(p.node.ID)
-		}
-	}
+	nd.dropDeadPartners()
 	if len(nd.partners) >= nd.Profile.PartnerTarget {
-		sorted := nd.sortedPartners()
-		cands := make([]policy.Candidate, 0, len(sorted))
-		for _, p := range sorted {
-			cands = append(cands, policy.Candidate{Index: int(p.node.ID), Info: p.info})
+		nd.scorer.Reset()
+		for _, p := range nd.byID {
+			nd.scorer.PushScored(policy.Candidate{Index: int(p.node.ID), Info: p.info}, p.retW)
 		}
-		worst := policy.Worst(cands, nd.Profile.RetainWeight)
+		worst := nd.scorer.Worst()
 		if worst.Index >= 0 {
 			nd.dropPartner(PeerID(worst.Index))
 		}
@@ -547,33 +663,33 @@ func (nd *Node) scheduleTick() {
 	}
 
 	// Expire stale requests (sorted for deterministic RNG consumption).
-	expired := make([]chunkstream.ChunkID, 0, len(nd.inflight))
+	nd.expired = nd.expired[:0]
 	for id, req := range nd.inflight {
 		if now.Sub(req.sentAt) > p.RequestTimeout {
-			expired = append(expired, id)
+			nd.expired = append(nd.expired, id)
 		}
 	}
-	sort.Slice(expired, func(i, j int) bool { return expired[i] < expired[j] })
-	for _, id := range expired {
+	slices.Sort(nd.expired)
+	for _, id := range nd.expired {
 		req := nd.inflight[id]
 		delete(nd.inflight, id)
 		nd.net.Ledger.Timeouts[nd.ID]++
 		if pr, ok := nd.partners[req.from]; ok {
 			pr.failures++
 			pr.info.EstRate /= 2 // stale partner loses standing
+			nd.rescore(pr)
 			if pr.failures >= 4 {
 				nd.dropPartner(req.from)
 			}
 		}
 	}
 
-	// Request missing chunks. Order matters enormously for swarm health:
+	// Request missing chunks. Order matters enormously for swarm health —
 	// pure oldest-first makes every peer fetch each chunk at the last
 	// moment, so no one holds it early enough to serve others and the
-	// source becomes the only provider. Like CoolStreaming-style
-	// schedulers, we pull urgent chunks (close to the playout deadline)
-	// in order, and spread the remaining budget over the window at
-	// random so availability diversifies.
+	// source becomes the only provider. The ordering itself is the
+	// profile's ChunkStrategy (urgent-random by default); the scheduler
+	// only assembles the candidate window.
 	lo := live - chunkstream.ChunkID(p.PullDelay+p.PullWindow)
 	hi := live - chunkstream.ChunkID(p.PullDelay)
 	if lo < nd.play.Next() {
@@ -584,10 +700,10 @@ func (nd *Node) scheduleTick() {
 	}
 	budget := p.MaxInflight - len(nd.inflight)
 
-	// Greedy pass: fill from the single best partner first. Whatever the
-	// best partner advertises and we miss, we take from it directly —
-	// this is what converts a selection *weight* into a byte-share
-	// *preference* observable in traces.
+	// Greedy pass: fill from the single best partner first — the head of
+	// the weight-ordered index. Whatever the best partner advertises and
+	// we miss, we take from it directly; this is what converts a selection
+	// *weight* into a byte-share *preference* observable in traces.
 	if p.BestFill > 0 && budget > 0 {
 		if best := nd.bestPartner(); best != nil {
 			fill := p.BestFill
@@ -601,7 +717,7 @@ func (nd *Node) scheduleTick() {
 				if !best.have.Has(id) {
 					continue
 				}
-				nd.inflight[id] = &pendingReq{chunk: id, from: best.node.ID, sentAt: now}
+				nd.inflight[id] = pendingReq{from: best.node.ID, sentAt: now}
 				nd.net.sendRequest(nd, best.node, id)
 				fill--
 				budget--
@@ -613,7 +729,7 @@ func (nd *Node) scheduleTick() {
 	// a greedy pass is configured: young chunks get a grace period in
 	// which the preferred partner may advertise them, instead of being
 	// snapped up from whoever happens to hold them first. Without
-	// BestFill the full window is shopped (pure CoolStreaming-style).
+	// BestFill the full window is shopped.
 	shopHi := hi
 	if p.BestFill > 0 {
 		shopHi = lo + chunkstream.ChunkID(2*p.PullWindow/3)
@@ -621,8 +737,10 @@ func (nd *Node) scheduleTick() {
 			shopHi = hi
 		}
 	}
-	var urgent, rest []chunkstream.ChunkID
+	strat := p.strategy()
+	needHolders := strat.NeedHolders()
 	urgentEdge := lo + chunkstream.ChunkID(p.PullWindow/3)
+	nd.refs = nd.refs[:0]
 	for id := lo; id <= shopHi; id++ {
 		if nd.buf.Has(id) {
 			continue
@@ -630,68 +748,80 @@ func (nd *Node) scheduleTick() {
 		if _, pending := nd.inflight[id]; pending {
 			continue
 		}
-		if id < urgentEdge {
-			urgent = append(urgent, id)
-		} else {
-			rest = append(rest, id)
+		ref := policy.ChunkRef{ID: int64(id), Urgent: id < urgentEdge}
+		if needHolders {
+			ref.Holders = nd.countHolders(id, now)
 		}
+		nd.refs = append(nd.refs, ref)
 	}
-	rng := nd.net.Eng.Rand()
-	rng.Shuffle(len(rest), func(i, j int) { rest[i], rest[j] = rest[j], rest[i] })
-	for _, id := range append(urgent, rest...) {
+	strat.Order(nd.net.Eng.Rand(), nd.refs)
+	for _, ref := range nd.refs {
 		if budget <= 0 {
 			break
 		}
-		if nd.requestChunk(id, now) {
+		if nd.requestChunk(chunkstream.ChunkID(ref.ID), now) {
 			budget--
 		}
 	}
 }
 
+// countHolders reports how many selectable partners advertise id — the
+// rarity signal consumed by holder-aware chunk strategies.
+func (nd *Node) countHolders(id chunkstream.ChunkID, now sim.Time) int {
+	n := 0
+	for _, p := range nd.byID {
+		if !p.node.online {
+			continue
+		}
+		if (p.node.isSource && p.node.hasChunk(id, now)) || p.have.Has(id) {
+			n++
+		}
+	}
+	return n
+}
+
 // bestPartner returns the online, non-source partner with the highest
-// RequestWeight, nil when none. Ties break toward the lower peer id for
-// determinism.
+// request weight, nil when none has positive weight: the first selectable
+// entry of the weight-ordered index. Ties sit in the index lowest-id
+// first, preserving the historical deterministic tie-break.
 func (nd *Node) bestPartner() *partner {
-	var best *partner
-	bestW := 0.0
-	for _, p := range nd.sortedPartners() {
+	for _, p := range nd.byReq {
 		if !p.node.online || p.node.isSource {
 			continue
 		}
-		w := nd.Profile.RequestWeight.Weight(p.info)
-		if w > bestW {
-			best, bestW = p, w
+		if p.reqW > 0 {
+			return p
 		}
+		// Weights only descend from here (NaNs sink to the tail); nothing
+		// selectable remains.
+		break
 	}
-	return best
+	return nil
 }
 
 // requestChunk picks a partner advertising id (the source counts as always
-// advertising) using the profile's RequestWeight and sends the request.
+// advertising) using the cached request weights and sends the request.
 // Reports whether a request went out.
 func (nd *Node) requestChunk(id chunkstream.ChunkID, now sim.Time) bool {
-	cands := make([]policy.Candidate, 0, len(nd.partners))
-	order := make([]*partner, 0, len(nd.partners))
-	for _, p := range nd.sortedPartners() {
+	nd.scorer.Reset()
+	nd.reqOrder = nd.reqOrder[:0]
+	for _, p := range nd.byID {
 		if !p.node.online {
 			continue
 		}
 		// A client only knows what the partner advertised; the single
 		// exception is the source, which everyone knows holds the feed.
 		if (p.node.isSource && p.node.hasChunk(id, now)) || p.have.Has(id) {
-			cands = append(cands, policy.Candidate{Index: len(order), Info: p.info})
-			order = append(order, p)
+			nd.scorer.PushScored(policy.Candidate{Index: len(nd.reqOrder), Info: p.info}, p.reqW)
+			nd.reqOrder = append(nd.reqOrder, p)
 		}
 	}
-	if len(cands) == 0 {
-		return false
-	}
-	pick := policy.PickOne(nd.net.Eng.Rand(), cands, nd.Profile.RequestWeight)
+	pick := nd.scorer.PickOne(nd.net.Eng.Rand())
 	if pick.Index < 0 {
 		return false
 	}
-	target := order[pick.Index]
-	nd.inflight[id] = &pendingReq{chunk: id, from: target.node.ID, sentAt: now}
+	target := nd.reqOrder[pick.Index]
+	nd.inflight[id] = pendingReq{from: target.node.ID, sentAt: now}
 	nd.net.sendRequest(nd, target.node, id)
 	return true
 }

@@ -19,6 +19,7 @@ package overlay
 
 import (
 	"fmt"
+	"slices"
 	"time"
 
 	"napawine/internal/access"
@@ -59,11 +60,18 @@ type Profile struct {
 	RequestTimeout   time.Duration
 	// BestFill is the greedy component of the scheduler: up to this many
 	// chunks per tick are pulled directly from the highest-RequestWeight
-	// partner that advertises them, before the randomized pass shops the
-	// rest around. It is how a strongly weighted partner (a fast peer, or
-	// a same-AS peer under an AS-biased profile) actually ends up
+	// partner that advertises them, before the strategy-ordered pass shops
+	// the rest around. It is how a strongly weighted partner (a fast peer,
+	// or a same-AS peer under an AS-biased profile) actually ends up
 	// carrying a disproportionate share of bytes. Zero disables it.
 	BestFill int
+
+	// ChunkStrategy orders each scheduler round's missing-chunk requests
+	// (see policy.ChunkStrategy). nil selects policy.DefaultStrategy() —
+	// the urgent-random hybrid the engine has always used — resolved
+	// lazily at the read site, never written back (the profile may be
+	// shared across parallel runs).
+	ChunkStrategy policy.ChunkStrategy
 
 	// Awareness knobs (the subject of the whole study).
 	DiscoveryWeight policy.Weight // choosing partners among candidates
@@ -90,12 +98,31 @@ func (p *Profile) validate() {
 	}
 }
 
+// strategy resolves the profile's chunk strategy, defaulting a nil field
+// lazily. Resolution stays at the read site because one *Profile may be
+// shared across the parallel runs of a battery: validate() writing the
+// default back would race with concurrent readers.
+func (p *Profile) strategy() policy.ChunkStrategy {
+	if p.ChunkStrategy == nil {
+		return policy.DefaultStrategy()
+	}
+	return p.ChunkStrategy
+}
+
+// DefaultContactFanout is the tracker candidates one gossip round
+// (contactTick) examines when Config.ContactFanout is zero.
+const DefaultContactFanout = 3
+
 // Config carries network-wide constants.
 type Config struct {
 	Calendar     chunkstream.Calendar
-	BufferWindow int           // chunks each node's buffer map covers
-	TrackerBatch int           // candidates per tracker query
-	JitterMax    time.Duration // per-packet forwarding jitter bound
+	BufferWindow int // chunks each node's buffer map covers
+	TrackerBatch int // candidates per tracker query
+	// ContactFanout is the number of tracker candidates one gossip round
+	// examines before settling on a single peer exchange. Zero selects
+	// DefaultContactFanout; negative is a configuration error.
+	ContactFanout int
+	JitterMax     time.Duration // per-packet forwarding jitter bound
 	// UplinkBusyCap is the backlog beyond which a node rejects chunk
 	// requests instead of queueing them; rejections are what steer
 	// requesters toward fast peers.
@@ -108,6 +135,12 @@ func (c *Config) validate() {
 	}
 	if c.TrackerBatch <= 0 {
 		panic("overlay: non-positive tracker batch")
+	}
+	if c.ContactFanout < 0 {
+		panic("overlay: negative contact fanout")
+	}
+	if c.ContactFanout == 0 {
+		c.ContactFanout = DefaultContactFanout
 	}
 	if c.UplinkBusyCap <= 0 {
 		panic("overlay: non-positive uplink busy cap")
@@ -204,6 +237,13 @@ type Network struct {
 	// trackerPaused models a tracker outage: queries return nothing, so
 	// discovery stalls while established partnerships keep streaming.
 	trackerPaused bool
+
+	// Tracker-query scratch, reused across calls: the engine is
+	// single-threaded and a query's result is consumed before the next
+	// query starts, so one set per network keeps every gossip round
+	// allocation-free. Callers must not retain the returned slice.
+	sampleOut  []*Node
+	sampleSeen []PeerID
 }
 
 // New builds an empty network on the given engine and topology.
@@ -234,7 +274,7 @@ func (n *Network) AddNode(host topology.Host, link access.Link, prof *Profile) *
 		up:       access.NewPort(link.Spec.Up),
 		down:     access.NewPort(link.Spec.Down),
 		partners: make(map[PeerID]*partner),
-		inflight: make(map[chunkstream.ChunkID]*pendingReq),
+		inflight: make(map[chunkstream.ChunkID]pendingReq),
 		onlineAt: -1,
 	}
 	n.nodes = append(n.nodes, node)
@@ -303,6 +343,8 @@ func (n *Network) TrackerPaused() bool { return n.trackerPaused }
 // trackerSample returns up to k distinct online nodes other than asker,
 // uniformly at random. Commercial trackers return random subsets; locality
 // bias, where it exists, is applied by the client (its DiscoveryWeight).
+// The result aliases a per-network scratch buffer: it is valid until the
+// next query and must not be retained.
 func (n *Network) trackerSample(asker *Node, k int) []*Node {
 	if n.trackerPaused || k <= 0 || len(n.online) == 0 {
 		return nil
@@ -310,18 +352,21 @@ func (n *Network) trackerSample(asker *Node, k int) []*Node {
 	rng := n.Eng.Rand()
 	// Partial Fisher-Yates over a copy of indexes would cost O(online);
 	// sample with rejection instead, bounded to a few attempts per slot.
-	out := make([]*Node, 0, k)
-	seen := map[PeerID]bool{asker.ID: true}
+	// The dedup set is a linear-scanned slice: it holds at most k+1 ids,
+	// and a map here would allocate on every gossip round of every node.
+	out := n.sampleOut[:0]
+	seen := append(n.sampleSeen[:0], asker.ID)
 	attempts := 0
 	for len(out) < k && attempts < 8*k {
 		attempts++
 		cand := n.online[rng.Intn(len(n.online))]
-		if seen[cand.ID] {
+		if slices.Contains(seen, cand.ID) {
 			continue
 		}
-		seen[cand.ID] = true
+		seen = append(seen, cand.ID)
 		out = append(out, cand)
 	}
+	n.sampleOut, n.sampleSeen = out, seen
 	return out
 }
 

@@ -1,0 +1,164 @@
+package overlay
+
+import (
+	"math"
+	"testing"
+	"time"
+
+	"napawine/internal/policy"
+)
+
+// TestPartnerIndexStaysConsistent drives a churning swarm and then audits
+// every node's incremental indexes against its partner map: same set, byID
+// ascending, byReq weight-descending with id-ascending ties, cached
+// weights equal to a fresh evaluation. This is the invariant the whole
+// zero-alloc selection path leans on.
+func TestPartnerIndexStaysConsistent(t *testing.T) {
+	w := buildWorld(t, 5, 30, 3)
+	w.startAll()
+	w.eng.Run(60 * time.Second)
+
+	for _, nd := range append(w.peers, w.src) {
+		if len(nd.byID) != len(nd.partners) || len(nd.byReq) != len(nd.partners) {
+			t.Fatalf("node %d: index sizes %d/%d vs %d partners",
+				nd.ID, len(nd.byID), len(nd.byReq), len(nd.partners))
+		}
+		for i, p := range nd.byID {
+			if got, ok := nd.partners[p.node.ID]; !ok || got != p {
+				t.Fatalf("node %d: byID entry %d not in partner map", nd.ID, p.node.ID)
+			}
+			if i > 0 && nd.byID[i-1].node.ID >= p.node.ID {
+				t.Fatalf("node %d: byID out of order at %d", nd.ID, i)
+			}
+			wantReq, wantRet := policy.Score(nd.Profile.RequestWeight, nd.Profile.RetainWeight, p.info)
+			if p.reqW != wantReq || p.retW != wantRet {
+				t.Fatalf("node %d: partner %d cached weights (%v,%v) stale, want (%v,%v)",
+					nd.ID, p.node.ID, p.reqW, p.retW, wantReq, wantRet)
+			}
+		}
+		for i := 1; i < len(nd.byReq); i++ {
+			a, b := nd.byReq[i-1], nd.byReq[i]
+			if a.reqW < b.reqW || (a.reqW == b.reqW && a.node.ID > b.node.ID) {
+				t.Fatalf("node %d: byReq out of order at %d: (%v,%d) before (%v,%d)",
+					nd.ID, i, a.reqW, a.node.ID, b.reqW, b.node.ID)
+			}
+		}
+	}
+}
+
+// TestByReqInsertKeepsNaNWeightsInTail covers custom Weight
+// implementations that can produce NaN (e.g. a Product of +Inf and 0
+// factors): NaN entries must sink to an id-ordered tail and never strand
+// later inserts behind them, or bestPartner's early exit would miss
+// selectable partners.
+func TestByReqInsertKeepsNaNWeightsInTail(t *testing.T) {
+	w := buildWorld(t, 13, 4, 0)
+	nd := w.peers[0]
+	mk := func(id int, reqW float64) *partner {
+		return &partner{node: w.peers[id], reqW: reqW}
+	}
+	nan := math.NaN()
+	for _, p := range []*partner{mk(1, nan), mk(2, 5), mk(3, nan), mk(0, 9)} {
+		nd.byReqInsert(p)
+	}
+	got := make([]float64, len(nd.byReq))
+	for i, p := range nd.byReq {
+		got[i] = p.reqW
+	}
+	if len(got) != 4 || got[0] != 9 || got[1] != 5 ||
+		!math.IsNaN(got[2]) || !math.IsNaN(got[3]) {
+		t.Fatalf("byReq order = %v, want [9 5 NaN NaN]", got)
+	}
+	if nd.byReq[2].node.ID > nd.byReq[3].node.ID {
+		t.Error("NaN tail not id-ordered")
+	}
+	// bestPartner must reach the positive entries despite the NaNs.
+	for _, p := range nd.byReq {
+		p.node.online = true
+	}
+	if best := nd.bestPartner(); best == nil || best.reqW != 9 {
+		t.Errorf("bestPartner = %v, want the weight-9 partner", best)
+	}
+	nd.byReq = nd.byReq[:0] // undo the synthetic index before teardown
+}
+
+// TestChunkStrategySwapChangesTraffic runs the same seed under the default
+// and the deadline-first strategies: both must sustain the stream, and the
+// traffic they generate must differ — proof the profile knob reaches the
+// scheduler rather than being cosmetic.
+func TestChunkStrategySwapChangesTraffic(t *testing.T) {
+	run := func(strat policy.ChunkStrategy) (int64, float64) {
+		w := buildWorld(t, 9, 24, 4)
+		for _, nd := range append(w.peers, w.src) {
+			nd.Profile.ChunkStrategy = strat
+		}
+		w.startAll()
+		w.eng.Run(90 * time.Second)
+		var video int64
+		for _, v := range w.net.Ledger.VideoRx {
+			video += v
+		}
+		okCount := 0
+		for _, p := range w.peers {
+			if p.Continuity() > 0.7 {
+				okCount++
+			}
+		}
+		return video, float64(okCount) / float64(len(w.peers))
+	}
+	// buildWorld shares one profile pointer per call, so mutate per-world.
+	defVideo, defOK := run(policy.DefaultStrategy())
+	dlVideo, dlOK := run(policy.DeadlineFirst{})
+	if defVideo == 0 || dlVideo == 0 {
+		t.Fatalf("a strategy starved the swarm: default %d bytes, deadline %d bytes", defVideo, dlVideo)
+	}
+	if defOK < 0.5 || dlOK < 0.5 {
+		t.Errorf("continuity collapsed: default %.2f, deadline %.2f ok-fraction", defOK, dlOK)
+	}
+	if defVideo == dlVideo {
+		t.Error("deadline-first moved byte-identical video to urgent-random; strategy not reaching the scheduler")
+	}
+}
+
+// TestRarestStrategySustainsSwarm exercises the holder-counting path end
+// to end (the only strategy that reads ChunkRef.Holders).
+func TestRarestStrategySustainsSwarm(t *testing.T) {
+	w := buildWorld(t, 11, 24, 4)
+	for _, nd := range append(w.peers, w.src) {
+		nd.Profile.ChunkStrategy = policy.RarestFirst{}
+	}
+	w.startAll()
+	w.eng.Run(90 * time.Second)
+	var video int64
+	for _, v := range w.net.Ledger.VideoRx {
+		video += v
+	}
+	if video == 0 {
+		t.Fatal("rarest-first moved no video")
+	}
+}
+
+func TestContactFanoutDefaultAndValidation(t *testing.T) {
+	cfg := testConfig()
+	if cfg.ContactFanout != 0 {
+		t.Fatalf("fixture unexpectedly sets ContactFanout=%d", cfg.ContactFanout)
+	}
+	net := New(nil, nil, cfg)
+	if net.Cfg.ContactFanout != DefaultContactFanout {
+		t.Errorf("zero ContactFanout = %d after validate, want default %d",
+			net.Cfg.ContactFanout, DefaultContactFanout)
+	}
+	cfg2 := testConfig()
+	cfg2.ContactFanout = 7
+	if got := New(nil, nil, cfg2).Cfg.ContactFanout; got != 7 {
+		t.Errorf("explicit ContactFanout overridden to %d", got)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("negative ContactFanout must panic")
+		}
+	}()
+	bad := testConfig()
+	bad.ContactFanout = -1
+	New(nil, nil, bad)
+}

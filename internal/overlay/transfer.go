@@ -143,6 +143,7 @@ func (nd *Node) onReject(from PeerID, id chunkstream.ChunkID) {
 	if p, ok := nd.partners[from]; ok {
 		p.failures++
 		p.info.EstRate = p.info.EstRate * 3 / 4
+		nd.rescore(p)
 	}
 }
 
@@ -170,6 +171,7 @@ func (nd *Node) onChunkDelivered(from PeerID, id chunkstream.ChunkID, size units
 				// EWMA with 0.7 retention: smooth but responsive.
 				p.info.EstRate = (p.info.EstRate*7 + sample*3) / 10
 			}
+			nd.rescore(p)
 			if nd.rateMemory != nil {
 				nd.rateMemory[from] = p.info.EstRate
 			}

@@ -15,7 +15,6 @@ import (
 	"fmt"
 	"math"
 	"math/rand"
-	"sort"
 	"time"
 
 	"napawine/internal/units"
@@ -188,85 +187,40 @@ type Candidate struct {
 // Sample draws up to k distinct candidates with probability proportional to
 // their weights, using the Efraimidis–Spirakis exponential-key method. Zero
 // or negative-weight candidates are never selected. The result preserves
-// selection order (strongest keys first).
+// selection order (strongest keys first). One-shot wrapper over Scorer;
+// recurring callers should hold a Scorer and reuse its buffers.
 func Sample(rng *rand.Rand, cands []Candidate, k int, w Weight) []Candidate {
-	if k <= 0 || len(cands) == 0 {
+	var s Scorer
+	for _, c := range cands {
+		s.Push(c, w)
+	}
+	picked := s.Sample(rng, k)
+	if picked == nil {
 		return nil
 	}
-	type keyed struct {
-		c   Candidate
-		key float64
-	}
-	keys := make([]keyed, 0, len(cands))
-	for _, c := range cands {
-		wt := w.Weight(c.Info)
-		if wt <= 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
-			continue
-		}
-		u := rng.Float64()
-		for u == 0 {
-			u = rng.Float64()
-		}
-		// key = u^(1/w): larger is better; equivalent to -ln(u)/w ascending.
-		keys = append(keys, keyed{c: c, key: math.Pow(u, 1/wt)})
-	}
-	sort.Slice(keys, func(i, j int) bool {
-		if keys[i].key != keys[j].key {
-			return keys[i].key > keys[j].key
-		}
-		return keys[i].c.Index < keys[j].c.Index // deterministic tie-break
-	})
-	if k > len(keys) {
-		k = len(keys)
-	}
-	out := make([]Candidate, k)
-	for i := 0; i < k; i++ {
-		out[i] = keys[i].c
-	}
+	out := make([]Candidate, len(picked))
+	copy(out, picked)
 	return out
 }
 
 // PickOne draws a single candidate with probability proportional to weight,
 // the hot path of per-chunk scheduling. Returns index -1 when nothing is
-// selectable.
+// selectable. One-shot wrapper over Scorer.
 func PickOne(rng *rand.Rand, cands []Candidate, w Weight) Candidate {
-	total := 0.0
-	weights := make([]float64, len(cands))
-	for i, c := range cands {
-		wt := w.Weight(c.Info)
-		if wt < 0 || math.IsNaN(wt) || math.IsInf(wt, 0) {
-			wt = 0
-		}
-		weights[i] = wt
-		total += wt
+	var s Scorer
+	for _, c := range cands {
+		s.Push(c, w)
 	}
-	if total <= 0 {
-		return Candidate{Index: -1}
-	}
-	x := rng.Float64() * total
-	for i, wt := range weights {
-		x -= wt
-		if x < 0 {
-			return cands[i]
-		}
-	}
-	return cands[len(cands)-1]
+	return s.PickOne(rng)
 }
 
 // Worst returns the candidate with the lowest weight (ties broken by lower
 // index), or index -1 for an empty slate. Used by partner-churn logic that
-// periodically drops its least useful partner.
+// periodically drops its least useful partner. One-shot wrapper over Scorer.
 func Worst(cands []Candidate, w Weight) Candidate {
-	if len(cands) == 0 {
-		return Candidate{Index: -1}
+	var s Scorer
+	for _, c := range cands {
+		s.Push(c, w)
 	}
-	best := 0
-	bestW := math.Inf(1)
-	for i, c := range cands {
-		wt := w.Weight(c.Info)
-		if wt < bestW || (wt == bestW && c.Index < cands[best].Index) {
-			best, bestW = i, wt
-		}
-	}
-	return cands[best]
+	return s.Worst()
 }

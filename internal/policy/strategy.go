@@ -1,0 +1,173 @@
+package policy
+
+import (
+	"cmp"
+	"fmt"
+	"math/rand"
+	"slices"
+	"sort"
+)
+
+// ChunkRef describes one missing chunk to a scheduling strategy: its stream
+// id, how many partners currently advertise it (the rarity signal), and
+// whether it sits in the urgent head of the pull window (close to its
+// playout deadline).
+type ChunkRef struct {
+	ID      int64
+	Holders int
+	Urgent  bool
+}
+
+// ChunkStrategy orders the missing chunks a scheduler round will request.
+// The scheduler hands it the candidate chunks of the pull window, in
+// ascending id order, and issues requests in whatever order the strategy
+// leaves them — until the in-flight budget runs out, so the front of the
+// slice matters most.
+//
+// Implementations must be deterministic: identical refs and an identical
+// RNG state must yield an identical order (and consume identical draws),
+// independent of anything else — this is what keeps multi-worker sweeps
+// byte-reproducible. Order must not allocate; it runs once per scheduler
+// tick per node.
+//
+// The strategy space is the one Mathieu & Perino study for epidemic live
+// streaming: how a peer spends its request budget — on the newest useful
+// data, on the rarest, or on the most imminent deadline — trades off
+// diffusion speed against playout safety.
+type ChunkStrategy interface {
+	Name() string
+	// NeedHolders reports whether Order reads ChunkRef.Holders; when false
+	// the scheduler skips the per-chunk availability count entirely.
+	NeedHolders() bool
+	Order(rng *rand.Rand, refs []ChunkRef)
+}
+
+// UrgentRandom is the default, CoolStreaming-style hybrid the emulator has
+// always used: chunks in the urgent head of the window are requested
+// oldest-first, and the remaining budget is spread over the rest of the
+// window uniformly at random so availability diversifies instead of every
+// peer chasing the same piece.
+type UrgentRandom struct{}
+
+// Name identifies the strategy.
+func (UrgentRandom) Name() string { return "urgent-random" }
+
+// NeedHolders implements ChunkStrategy.
+func (UrgentRandom) NeedHolders() bool { return false }
+
+// Order keeps the urgent prefix in ascending id order and shuffles the
+// tail. Refs arrive ascending, so the urgent chunks already form a prefix.
+func (UrgentRandom) Order(rng *rand.Rand, refs []ChunkRef) {
+	split := 0
+	for split < len(refs) && refs[split].Urgent {
+		split++
+	}
+	tail := refs[split:]
+	rng.Shuffle(len(tail), func(i, j int) { tail[i], tail[j] = tail[j], tail[i] })
+}
+
+// LatestUseful requests the newest chunk first. Fresh data spreads through
+// the swarm fastest (every peer still misses it, so serving capacity for
+// it is maximal), at the price of more deadline misses under load — the
+// classic "latest useful chunk" policy of the epidemic-streaming
+// literature.
+type LatestUseful struct{}
+
+// Name identifies the strategy.
+func (LatestUseful) Name() string { return "latest-useful" }
+
+// NeedHolders implements ChunkStrategy.
+func (LatestUseful) NeedHolders() bool { return false }
+
+// Order sorts by descending id. Deterministic, no RNG.
+func (LatestUseful) Order(rng *rand.Rand, refs []ChunkRef) {
+	slices.SortFunc(refs, func(a, b ChunkRef) int { return cmp.Compare(b.ID, a.ID) })
+}
+
+// RarestFirst requests the chunk the fewest partners advertise, ties
+// broken oldest-first — BitTorrent's availability-maximizing policy
+// transplanted to the live window. It keeps rare pieces from dying out
+// when upload capacity is scarce.
+type RarestFirst struct{}
+
+// Name identifies the strategy.
+func (RarestFirst) Name() string { return "rarest" }
+
+// NeedHolders implements ChunkStrategy.
+func (RarestFirst) NeedHolders() bool { return true }
+
+// Order sorts by ascending holder count, then ascending id. Deterministic,
+// no RNG.
+func (RarestFirst) Order(rng *rand.Rand, refs []ChunkRef) {
+	slices.SortFunc(refs, func(a, b ChunkRef) int {
+		if a.Holders != b.Holders {
+			return cmp.Compare(a.Holders, b.Holders)
+		}
+		return cmp.Compare(a.ID, b.ID)
+	})
+}
+
+// DeadlineFirst requests strictly oldest-first: every request chases the
+// most imminent playout deadline. Safest for the local viewer, worst for
+// the swarm — late chunks are fetched when almost nobody needs them
+// anymore, so peers rarely hold anything early enough to serve others.
+type DeadlineFirst struct{}
+
+// Name identifies the strategy.
+func (DeadlineFirst) Name() string { return "deadline" }
+
+// NeedHolders implements ChunkStrategy.
+func (DeadlineFirst) NeedHolders() bool { return false }
+
+// Order sorts by ascending id. Deterministic, no RNG.
+func (DeadlineFirst) Order(rng *rand.Rand, refs []ChunkRef) {
+	slices.SortFunc(refs, func(a, b ChunkRef) int { return cmp.Compare(a.ID, b.ID) })
+}
+
+// DefaultStrategy returns the strategy a nil Profile.ChunkStrategy selects:
+// the behaviour the emulator has always had.
+func DefaultStrategy() ChunkStrategy { return UrgentRandom{} }
+
+// strategyInfo pairs a registered strategy with its one-line description.
+type strategyInfo struct {
+	s    ChunkStrategy
+	desc string
+}
+
+// strategies is the registry, keyed by Name().
+var strategies = map[string]strategyInfo{
+	UrgentRandom{}.Name():  {UrgentRandom{}, "urgent head oldest-first, rest of the window at random (default)"},
+	LatestUseful{}.Name():  {LatestUseful{}, "newest chunk first: fastest diffusion, most deadline risk"},
+	RarestFirst{}.Name():   {RarestFirst{}, "fewest-holders chunk first, ties oldest-first"},
+	DeadlineFirst{}.Name(): {DeadlineFirst{}, "strictly oldest-first: chase every playout deadline"},
+}
+
+// StrategyNames lists the registered chunk strategies, default first, the
+// rest alphabetically.
+func StrategyNames() []string {
+	names := make([]string, 0, len(strategies))
+	def := DefaultStrategy().Name()
+	for name := range strategies {
+		if name != def {
+			names = append(names, name)
+		}
+	}
+	sort.Strings(names)
+	return append([]string{def}, names...)
+}
+
+// StrategyByName resolves a registered chunk strategy; "" selects the
+// default.
+func StrategyByName(name string) (ChunkStrategy, error) {
+	if name == "" {
+		return DefaultStrategy(), nil
+	}
+	if info, ok := strategies[name]; ok {
+		return info.s, nil
+	}
+	return nil, fmt.Errorf("policy: unknown chunk strategy %q (valid: %v)", name, StrategyNames())
+}
+
+// StrategyDescription returns the one-line description of a registered
+// strategy ("" when unknown).
+func StrategyDescription(name string) string { return strategies[name].desc }

@@ -21,6 +21,7 @@ import (
 	"napawine/internal/apps"
 	"napawine/internal/experiment"
 	"napawine/internal/overlay"
+	"napawine/internal/policy"
 	"napawine/internal/report"
 	"napawine/internal/runner"
 	"napawine/internal/scenario"
@@ -64,6 +65,13 @@ type Spec struct {
 	// runs additionally sample per-bucket time series, aggregated by
 	// SeriesTable.
 	Scenario string
+
+	// Strategy names a registered chunk-scheduling strategy
+	// (policy.StrategyNames) applied to every run of the battery (""
+	// keeps each profile's own strategy). This is how the
+	// latest-useful / rarest / deadline scheduling comparisons are
+	// replicated across seeds.
+	Strategy string
 }
 
 // seeds resolves the trial seed list.
@@ -137,6 +145,10 @@ func Run(spec Spec) (*Result, error) {
 			return nil, fmt.Errorf("sweep: %w", err)
 		}
 	}
+	// Validate the strategy name once up front, like the app names below.
+	if _, err := policy.StrategyByName(spec.Strategy); err != nil {
+		return nil, fmt.Errorf("sweep: %w", err)
+	}
 
 	type task struct {
 		group int
@@ -170,6 +182,7 @@ func Run(spec Spec) (*Result, error) {
 		cfg.Seed = t.seed
 		cfg.World.Seed = t.seed
 		cfg.Scenario = scn
+		cfg.Strategy = spec.Strategy
 		if spec.Duration > 0 {
 			cfg.Duration = spec.Duration
 		}

@@ -274,3 +274,43 @@ func TestSweepSeriesShowsTrackerOutage(t *testing.T) {
 		t.Errorf("aggregated outage series does not show the tracker window:\n%s", out)
 	}
 }
+
+func TestSweepUnknownStrategy(t *testing.T) {
+	_, err := Run(Spec{Apps: []string{"TVAnts"}, Trials: 1, Strategy: "newest"})
+	if err == nil || !strings.Contains(err.Error(), "newest") {
+		t.Errorf("unknown strategy should fail fast, got %v", err)
+	}
+}
+
+// TestSweepStrategyDeterministicAcrossWorkers plumbs a non-default chunk
+// strategy through a replicated battery: the strategy must actually change
+// the traffic (different tables than stock) while staying byte-identical
+// across worker counts — ordering ties inside a strategy may never fall
+// back to scheduling luck.
+func TestSweepStrategyDeterministicAcrossWorkers(t *testing.T) {
+	base := Spec{
+		Apps:       []string{"TVAnts"},
+		Seeds:      []int64{3, 4},
+		Duration:   30 * time.Second,
+		PeerFactor: 0.05,
+		Strategy:   "rarest",
+	}
+	render := func(workers int, strategy string) string {
+		spec := base
+		spec.Workers = workers
+		spec.Strategy = strategy
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderAll(t, res)
+	}
+	serial, parallel := render(1, "rarest"), render(4, "rarest")
+	if serial != parallel {
+		t.Errorf("worker count changed strategy-sweep output:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+			serial, parallel)
+	}
+	if stock := render(1, ""); stock == serial {
+		t.Error("rarest-first sweep rendered byte-identical tables to the stock strategy; the knob is not plumbed through")
+	}
+}

@@ -62,6 +62,19 @@ type (
 // Re-exported policy types for building custom application profiles (the
 // paper's future-work direction: more locality-aware clients).
 type (
+	// ChunkStrategy orders each scheduler round's chunk requests across
+	// the pull window (the Mathieu–Perino scheduling-strategy space).
+	ChunkStrategy = policy.ChunkStrategy
+	// ChunkRef is one missing chunk as a strategy sees it.
+	ChunkRef = policy.ChunkRef
+	// UrgentRandom is the default urgent-head + random-tail strategy.
+	UrgentRandom = policy.UrgentRandom
+	// LatestUseful requests the newest chunk first.
+	LatestUseful = policy.LatestUseful
+	// RarestFirst requests the fewest-holders chunk first.
+	RarestFirst = policy.RarestFirst
+	// DeadlineFirst requests strictly oldest-first.
+	DeadlineFirst = policy.DeadlineFirst
 	// Weight scores peer-selection candidates.
 	Weight = policy.Weight
 	// Uniform is location- and bandwidth-blind selection.
@@ -117,6 +130,10 @@ type Scale struct {
 	// Scenario names a registered workload scenario to replay in every
 	// run ("" = stationary default). See ScenarioNames.
 	Scenario string
+	// Strategy names a registered chunk-scheduling strategy applied to
+	// every run ("" = each profile's own, i.e. urgent-random). See
+	// StrategyNames.
+	Strategy string
 	// Apps restricts the battery to these applications (nil = all three).
 	// Restricting here skips the unwanted simulations entirely instead of
 	// filtering their results afterwards. Results come back in the paper's
@@ -151,6 +168,7 @@ func RunAll(s Scale) ([]*Result, error) {
 		}
 		cfg.ScalePeers(s.PeerFactor)
 		cfg.Scenario = scn
+		cfg.Strategy = s.Strategy
 		cfgs = append(cfgs, cfg)
 	}
 	results, err := runner.Parallel(cfgs, s.Workers, experiment.Run)
@@ -211,6 +229,18 @@ const (
 
 // ScenarioNames lists the registered workload scenarios.
 func ScenarioNames() []string { return scenario.Names() }
+
+// StrategyNames lists the registered chunk-scheduling strategies, default
+// first.
+func StrategyNames() []string { return policy.StrategyNames() }
+
+// StrategyByName resolves a registered chunk-scheduling strategy; ""
+// selects the default (urgent-random).
+func StrategyByName(name string) (ChunkStrategy, error) { return policy.StrategyByName(name) }
+
+// StrategyDescription returns the one-line description of a registered
+// strategy ("" when unknown).
+func StrategyDescription(name string) string { return policy.StrategyDescription(name) }
 
 // ScenarioByName returns a fresh copy of a registered workload scenario.
 func ScenarioByName(name string) (*ScenarioSpec, error) { return scenario.ByName(name) }
