@@ -10,6 +10,7 @@
 //	napawine -exp table1                 # testbed inventory (no simulation)
 //	napawine -seeds 5 -workers 4         # replicated sweep, tables with ±stderr
 //	napawine -scenario flashcrowd        # inject a workload scenario + time series
+//	napawine -scenario-file f.json       # inject a file-authored workload scenario
 //	napawine -scenario-list              # show the scenario registry
 //	napawine -strategy rarest            # swap the chunk-scheduling strategy
 //	napawine -strategy-list              # show the strategy registry
@@ -37,7 +38,9 @@ var validExps = []string{"table1", "table2", "table3", "table4", "fig1", "fig2",
 // validateArgs rejects unknown -exp, application, -scenario and -strategy
 // values with an error that lists the valid choices, before any simulation
 // starts. A typo must be a loud usage error, never a silently empty run.
-func validateArgs(exp string, appList []string, scenarioName, strategyName string) error {
+// scenarioFile is only checked for flag compatibility here; the file itself
+// is loaded (and fails loudly) in main.
+func validateArgs(exp string, appList []string, scenarioName, scenarioFile, strategyName string) error {
 	ok := false
 	for _, v := range validExps {
 		if exp == v {
@@ -56,6 +59,9 @@ func validateArgs(exp string, appList []string, scenarioName, strategyName strin
 			return fmt.Errorf("unknown app %q (valid: %s)", a, strings.Join(napawine.Apps(), ", "))
 		}
 	}
+	if scenarioName != "" && scenarioFile != "" {
+		return fmt.Errorf("-scenario and -scenario-file are mutually exclusive")
+	}
 	if scenarioName != "" {
 		if _, err := napawine.ScenarioByName(scenarioName); err != nil {
 			return fmt.Errorf("unknown -scenario %q (valid: %s)",
@@ -64,6 +70,9 @@ func validateArgs(exp string, appList []string, scenarioName, strategyName strin
 		if exp == "table1" {
 			return fmt.Errorf("-scenario runs no simulation under -exp table1 (the testbed inventory is static)")
 		}
+	}
+	if scenarioFile != "" && exp == "table1" {
+		return fmt.Errorf("-scenario-file runs no simulation under -exp table1 (the testbed inventory is static)")
 	}
 	if strategyName != "" {
 		if _, err := napawine.StrategyByName(strategyName); err != nil {
@@ -127,6 +136,7 @@ func main() {
 		workers   = flag.Int("workers", 0, "parallel experiments (0 = GOMAXPROCS)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		scn       = flag.String("scenario", "", "workload scenario to inject (see -scenario-list)")
+		scnFile   = flag.String("scenario-file", "", "JSON scenario file to inject (see README: authoring scenario files)")
 		listScens = flag.Bool("scenario-list", false, "list registered workload scenarios and exit")
 		strat     = flag.String("strategy", "", "chunk-scheduling strategy (see -strategy-list)")
 		listStrat = flag.Bool("strategy-list", false, "list registered chunk strategies and exit")
@@ -143,10 +153,22 @@ func main() {
 	}
 
 	appList := parseApps(*appsFlag)
-	if err := validateArgs(*exp, appList, *scn, *strat); err != nil {
+	if err := validateArgs(*exp, appList, *scn, *scnFile, *strat); err != nil {
 		fmt.Fprintln(os.Stderr, "napawine:", err)
 		flag.Usage()
 		os.Exit(2)
+	}
+
+	// Load the file spec up front: a broken file must die as a usage error
+	// before any simulation starts, on both the single-run and sweep paths.
+	var fileSpec *napawine.ScenarioSpec
+	if *scnFile != "" {
+		var err error
+		fileSpec, err = napawine.LoadScenarioFile(*scnFile)
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "napawine:", err)
+			os.Exit(2)
+		}
 	}
 
 	if *exp == "table1" {
@@ -155,7 +177,7 @@ func main() {
 	}
 
 	if *seeds > 1 {
-		runSweep(appList, *seed, *seeds, *duration, *factor, *workers, *exp, *csv, *scn, *strat)
+		runSweep(appList, *seed, *seeds, *duration, *factor, *workers, *exp, *csv, *scn, fileSpec, *strat)
 		return
 	}
 
@@ -164,13 +186,16 @@ func main() {
 	if *scn != "" {
 		fmt.Fprintf(os.Stderr, "scenario: %s\n", *scn)
 	}
+	if fileSpec != nil {
+		fmt.Fprintf(os.Stderr, "scenario: %s (from %s)\n", fileSpec.Name, *scnFile)
+	}
 	if *strat != "" {
 		fmt.Fprintf(os.Stderr, "strategy: %s\n", *strat)
 	}
 	start := time.Now()
 	results, err := napawine.RunAll(napawine.Scale{
 		Seed: *seed, Duration: *duration, PeerFactor: *factor, Workers: *workers,
-		Scenario: *scn, Strategy: *strat, Apps: appList,
+		Scenario: *scn, ScenarioSpec: fileSpec, Strategy: *strat, Apps: appList,
 	})
 	if err != nil {
 		fatal(err)
@@ -231,7 +256,7 @@ func main() {
 			render(t)
 		}
 	}
-	if *scn != "" {
+	if *scn != "" || fileSpec != nil {
 		if series := napawine.SeriesTable(results); series != nil {
 			render(series)
 		}
@@ -241,7 +266,7 @@ func main() {
 // runSweep executes the replicated multi-seed battery and renders the
 // aggregated (mean ± stderr) tables. Figures and the hop sweep are
 // single-run reductions and are not replicated here.
-func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, workers int, exp string, csv bool, scn, strat string) {
+func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, workers int, exp string, csv bool, scn string, fileSpec *napawine.ScenarioSpec, strat string) {
 	if exp == "fig1" || exp == "fig2" || exp == "hopsweep" {
 		fatal(fmt.Errorf("-exp %s is a single-run reduction; drop -seeds or use -seeds 1", exp))
 	}
@@ -250,19 +275,23 @@ func runSweep(appList []string, seed int64, trials int, duration time.Duration, 
 	if scn != "" {
 		fmt.Fprintf(os.Stderr, "scenario: %s\n", scn)
 	}
+	if fileSpec != nil {
+		fmt.Fprintf(os.Stderr, "scenario: %s (file spec)\n", fileSpec.Name)
+	}
 	if strat != "" {
 		fmt.Fprintf(os.Stderr, "strategy: %s\n", strat)
 	}
 	start := time.Now()
 	res, err := napawine.Sweep(napawine.SweepSpec{
-		Apps:       appList,
-		BaseSeed:   seed,
-		Trials:     trials,
-		Duration:   duration,
-		PeerFactor: factor,
-		Workers:    workers,
-		Scenario:   scn,
-		Strategy:   strat,
+		Apps:         appList,
+		BaseSeed:     seed,
+		Trials:       trials,
+		Duration:     duration,
+		PeerFactor:   factor,
+		Workers:      workers,
+		Scenario:     scn,
+		ScenarioSpec: fileSpec,
+		Strategy:     strat,
 	})
 	if err != nil {
 		fatal(err)
@@ -293,7 +322,7 @@ func runSweep(appList []string, seed int64, trials int, duration time.Duration, 
 		render(res.TableIV())
 		render(res.HealthTable())
 	}
-	if scn != "" {
+	if scn != "" || fileSpec != nil {
 		if series := res.SeriesTable(); series != nil {
 			render(series)
 		}

@@ -18,14 +18,14 @@ func TestValidateArgsAcceptsValidCombos(t *testing.T) {
 		{"hopsweep", []string{"SopCast"}, "steady", "rarest"},
 		{"table2", []string{"PPLive"}, "", "latest-useful"},
 	} {
-		if err := validateArgs(tc.exp, tc.apps, tc.scenario, tc.strategy); err != nil {
+		if err := validateArgs(tc.exp, tc.apps, tc.scenario, "", tc.strategy); err != nil {
 			t.Errorf("validateArgs(%q, %v, %q) = %v, want nil", tc.exp, tc.apps, tc.scenario, err)
 		}
 	}
 }
 
 func TestValidateArgsRejectsUnknownExp(t *testing.T) {
-	err := validateArgs("tabel4", []string{"PPLive"}, "", "")
+	err := validateArgs("tabel4", []string{"PPLive"}, "", "", "")
 	if err == nil {
 		t.Fatal("typo'd -exp accepted")
 	}
@@ -37,7 +37,7 @@ func TestValidateArgsRejectsUnknownExp(t *testing.T) {
 }
 
 func TestValidateArgsRejectsUnknownApp(t *testing.T) {
-	err := validateArgs("all", []string{"PPLive", "Joost"}, "", "")
+	err := validateArgs("all", []string{"PPLive", "Joost"}, "", "", "")
 	if err == nil {
 		t.Fatal("unknown app accepted")
 	}
@@ -49,13 +49,13 @@ func TestValidateArgsRejectsUnknownApp(t *testing.T) {
 }
 
 func TestValidateArgsRejectsEmptyApps(t *testing.T) {
-	if err := validateArgs("all", nil, "", ""); err == nil {
+	if err := validateArgs("all", nil, "", "", ""); err == nil {
 		t.Error("empty app list accepted")
 	}
 }
 
 func TestValidateArgsRejectsUnknownScenario(t *testing.T) {
-	err := validateArgs("all", []string{"PPLive"}, "worldcup", "")
+	err := validateArgs("all", []string{"PPLive"}, "worldcup", "", "")
 	if err == nil {
 		t.Fatal("unknown scenario accepted")
 	}
@@ -78,7 +78,7 @@ func TestParseApps(t *testing.T) {
 
 func TestScenarioListNamesEveryScenario(t *testing.T) {
 	out := scenarioList()
-	for _, name := range []string{"steady", "flashcrowd", "diurnal", "partition", "outage", "throttle"} {
+	for _, name := range []string{"steady", "flashcrowd", "diurnal", "partition", "outage", "throttle", "failover", "zapping", "regional"} {
 		if !strings.Contains(out, name) {
 			t.Errorf("-scenario-list output missing %q:\n%s", name, out)
 		}
@@ -86,13 +86,13 @@ func TestScenarioListNamesEveryScenario(t *testing.T) {
 }
 
 func TestValidateArgsRejectsScenarioWithTable1(t *testing.T) {
-	if err := validateArgs("table1", []string{"PPLive"}, "flashcrowd", ""); err == nil {
+	if err := validateArgs("table1", []string{"PPLive"}, "flashcrowd", "", ""); err == nil {
 		t.Error("-scenario with -exp table1 accepted (it would be silently ignored)")
 	}
 }
 
 func TestValidateArgsRejectsUnknownStrategy(t *testing.T) {
-	err := validateArgs("all", []string{"PPLive"}, "", "newest")
+	err := validateArgs("all", []string{"PPLive"}, "", "", "newest")
 	if err == nil {
 		t.Fatal("unknown strategy accepted")
 	}
@@ -104,8 +104,20 @@ func TestValidateArgsRejectsUnknownStrategy(t *testing.T) {
 }
 
 func TestValidateArgsRejectsStrategyWithTable1(t *testing.T) {
-	if err := validateArgs("table1", []string{"PPLive"}, "", "rarest"); err == nil {
+	if err := validateArgs("table1", []string{"PPLive"}, "", "", "rarest"); err == nil {
 		t.Error("-strategy with -exp table1 accepted (it would be silently ignored)")
+	}
+}
+
+func TestValidateArgsScenarioFile(t *testing.T) {
+	if err := validateArgs("all", []string{"PPLive"}, "", "f.json", ""); err != nil {
+		t.Errorf("-scenario-file alone rejected: %v", err)
+	}
+	if err := validateArgs("all", []string{"PPLive"}, "flashcrowd", "f.json", ""); err == nil {
+		t.Error("-scenario together with -scenario-file accepted")
+	}
+	if err := validateArgs("table1", []string{"PPLive"}, "", "f.json", ""); err == nil {
+		t.Error("-scenario-file with -exp table1 accepted (it would be silently ignored)")
 	}
 }
 

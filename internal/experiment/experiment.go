@@ -261,6 +261,10 @@ func Run(cfg Config) (*Result, error) {
 		prof = &cp
 	}
 	if cfg.Scenario != nil {
+		// Work on a private deep copy: the caller's Spec may be shared
+		// across the parallel runs of a battery, and Run must leave it
+		// bit-for-bit untouched no matter what compilation does.
+		cfg.Scenario = cfg.Scenario.Clone()
 		if err := cfg.Scenario.Validate(); err != nil {
 			return nil, fmt.Errorf("experiment: %w", err)
 		}

@@ -1,6 +1,7 @@
 package experiment
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -114,5 +115,54 @@ func TestSeriesTableNilWithoutScenario(t *testing.T) {
 	r := runSmall(t, "TVAnts")
 	if tab := SeriesTable([]*Result{r}); tab != nil {
 		t.Errorf("scenario-less results produced a series table: %q", tab.Title)
+	}
+}
+
+// TestRunLeavesCallerSpecUnmodified is the spec-aliasing regression guard:
+// Run clones the caller's scenario spec before validating or compiling it,
+// so the original must come back bit-for-bit identical even when the run
+// derives state (ExtraPeers, buckets) from it.
+func TestRunLeavesCallerSpecUnmodified(t *testing.T) {
+	cfg := scenarioConfig("flashcrowd", 6)
+	want := cfg.Scenario.Clone()
+	if _, err := Run(cfg); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(cfg.Scenario, want) {
+		t.Errorf("Run mutated the caller's scenario spec:\n before %+v\n after  %+v", want, cfg.Scenario)
+	}
+}
+
+// TestScenarioRunFailover: the failover scenario runs end-to-end through
+// the experiment layer and the promoted source keeps the stream alive.
+func TestScenarioRunFailover(t *testing.T) {
+	r, err := Run(scenarioConfig("failover", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.MeanContinuity <= 0.3 {
+		t.Errorf("post-failover continuity %.3f: the promoted source did not carry the stream", r.MeanContinuity)
+	}
+	if len(r.Series) == 0 {
+		t.Error("failover run produced no series")
+	}
+}
+
+// TestScenarioRunZapping: the zapping scenario dips the online population
+// inside its window and refills it afterwards.
+func TestScenarioRunZapping(t *testing.T) {
+	r, err := Run(scenarioConfig("zapping", 8))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) != scenario.DefaultBuckets {
+		t.Fatalf("series has %d buckets, want %d", len(r.Series), scenario.DefaultBuckets)
+	}
+	// Zap window [50%, 60%]: bucket 6 (ends at 55%) sits inside the dip;
+	// the final bucket must have recovered above it.
+	dip, end := r.Series[6], r.Series[len(r.Series)-1]
+	if end.Online <= dip.Online {
+		t.Errorf("zapping dip did not recover: online %d at %v vs %d at %v",
+			dip.Online, dip.T, end.Online, end.T)
 	}
 }

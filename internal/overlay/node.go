@@ -107,6 +107,12 @@ type Node struct {
 	// calls; zero until the first throttle.
 	baseSpec units.AccessSpec
 
+	// churnScale divides the churn cycle's holding-time draws: >1 makes
+	// the node flap faster (scenario regional churn), 1 restores the
+	// configured means. Zero (never set) means unscaled, so untouched
+	// nodes stay byte-identical to builds without the knob.
+	churnScale float64
+
 	capture *sniffer.Capture
 	spool   *sniffer.Spool
 
@@ -290,6 +296,28 @@ func (nd *Node) SetLinkScale(factor float64) {
 	nd.down.SetRate(nd.Link.Spec.Down)
 }
 
+// SetChurnScale scales the node's churn rate from now on: holding-time
+// draws of its churn cycle (both on- and off-phases) are divided by factor,
+// so factor 3 makes the node flap three times as often. Factor 1 restores
+// the configured means; factors are absolute, not cumulative, and apply
+// from the next draw — sessions already running keep their end times.
+// Scaling changes only the multiplier, never the number of RNG draws, so
+// determinism is preserved event-for-event.
+func (nd *Node) SetChurnScale(factor float64) {
+	if factor <= 0 {
+		panic(fmt.Sprintf("overlay: non-positive churn scale %v", factor))
+	}
+	nd.churnScale = factor
+}
+
+// ChurnScale reports the current churn-rate multiplier (1 when never set).
+func (nd *Node) ChurnScale() float64 {
+	if nd.churnScale <= 0 {
+		return 1
+	}
+	return nd.churnScale
+}
+
 // ScheduleChurn makes the node cycle online/offline with exponential
 // holding times; permanent probe nodes simply never call this. The first
 // join happens after `firstJoin`.
@@ -297,12 +325,17 @@ func (nd *Node) ScheduleChurn(firstJoin time.Duration, meanOn, meanOff time.Dura
 	eng := nd.net.Eng
 	rng := eng.Rand()
 	expDur := func(mean time.Duration) time.Duration {
-		d := time.Duration(rng.ExpFloat64() * float64(mean))
-		if d < time.Second {
-			d = time.Second
+		if s := nd.churnScale; s > 0 {
+			mean = time.Duration(float64(mean) / s)
 		}
+		d := time.Duration(rng.ExpFloat64() * float64(mean))
+		// Cap before floor: under a heavy churn scale the 10×-mean cap can
+		// sit below one second, and the floor is the documented guarantee.
 		if d > 10*mean {
 			d = 10 * mean
+		}
+		if d < time.Second {
+			d = time.Second
 		}
 		return d
 	}

@@ -294,6 +294,34 @@ func (n *Network) AddSource(host topology.Host, link access.Link, prof *Profile)
 	return node
 }
 
+// PromoteSource hands the stream origin over to backup: the previous
+// source (if any) stops counting as origin, backup natively holds every
+// chunk the calendar has produced from now on, and the tracker advertises
+// it like any online peer. A promoted backup that is offline — churned out,
+// or retired by the failover that killed the old source — is brought back
+// online immediately (a blocked backup joins when its partition heals).
+// Workload scenarios use this as the source-failover handoff hook; callers
+// are expected to take the old source offline (Retire) beforehand.
+func (n *Network) PromoteSource(backup *Node) {
+	if backup == nil {
+		panic("overlay: promote nil source")
+	}
+	if backup.isSource {
+		return
+	}
+	if old := n.source; old != nil {
+		old.isSource = false
+	}
+	backup.isSource = true
+	n.source = backup
+	if !backup.online {
+		// The promotion overrides a retirement: the operator turned the
+		// backup injection point on, whatever the viewer behind it did.
+		backup.retired = false
+		backup.Join()
+	}
+}
+
 // AttachSniffer equips a node with a probe capture; records for every
 // packet crossing the node's access link will be spooled and can be drained
 // with FlushCaptures.

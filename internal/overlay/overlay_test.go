@@ -578,3 +578,111 @@ func TestRetireStopsChurnChain(t *testing.T) {
 		t.Errorf("retired node still has %d events scheduled", p)
 	}
 }
+
+// TestPromoteSourceHandsOverOrigin: the source-handoff hook behind scenario
+// failovers — the old source stops counting as origin, the backup natively
+// holds the feed and the swarm keeps pulling from it.
+func TestPromoteSourceHandsOverOrigin(t *testing.T) {
+	w := buildWorld(t, 17, 16, 0)
+	w.startAll()
+	w.eng.Run(20 * time.Second)
+	backup := w.peers[0]
+	w.eng.Schedule(time.Second, func() {
+		w.src.Retire()
+		w.net.PromoteSource(backup)
+	})
+	w.eng.Run(25 * time.Second)
+	if w.net.Source() != backup || !backup.IsSource() {
+		t.Fatal("backup not promoted")
+	}
+	if w.src.IsSource() {
+		t.Error("old source still counts as origin")
+	}
+	if backup.Continuity() != 1 {
+		t.Error("a source must report perfect continuity")
+	}
+	live := w.net.Cfg.Calendar.LatestAt(w.eng.Now())
+	if !backup.hasChunk(live, w.eng.Now()) {
+		t.Error("promoted source does not hold the live edge")
+	}
+	served := w.net.Ledger.ChunksServed[backup.ID]
+	w.eng.Run(60 * time.Second)
+	if w.net.Ledger.ChunksServed[backup.ID] <= served {
+		t.Error("promoted source served no chunks")
+	}
+}
+
+// TestPromoteSourceRevivesOfflineBackup: promoting a churned-out (or even
+// retired) backup brings it online — the operator turned the injection
+// point on regardless of what the viewer behind it did.
+func TestPromoteSourceRevivesOfflineBackup(t *testing.T) {
+	w := buildWorld(t, 18, 4, 0)
+	w.startAll()
+	w.eng.Run(5 * time.Second)
+	backup := w.peers[1]
+	backup.Retire()
+	if backup.Online() {
+		t.Fatal("setup: backup should be offline")
+	}
+	w.net.PromoteSource(backup)
+	if !backup.Online() || !backup.IsSource() || backup.Retired() {
+		t.Errorf("promotion must revive the backup: online=%v source=%v retired=%v",
+			backup.Online(), backup.IsSource(), backup.Retired())
+	}
+	// Idempotent: promoting the current source is a no-op.
+	w.net.PromoteSource(backup)
+	if w.net.Source() != backup {
+		t.Error("re-promotion changed the source")
+	}
+}
+
+func TestPromoteNilSourcePanics(t *testing.T) {
+	w := buildWorld(t, 19, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("PromoteSource(nil) did not panic")
+		}
+	}()
+	w.net.PromoteSource(nil)
+}
+
+// TestSetChurnScaleSpeedsUpCycling: scaling the churn rate must produce
+// more on/off cycles over the same horizon, and the default scale is 1.
+// Fixed seeds; both runs are deterministic, transitions counted by a 1 Hz
+// online-state sampler.
+func TestSetChurnScaleSpeedsUpCycling(t *testing.T) {
+	cycles := func(scale float64) int {
+		w := buildWorld(t, 20, 1, 0)
+		nd := w.peers[0]
+		if scale != 0 {
+			nd.SetChurnScale(scale)
+		}
+		nd.ScheduleChurn(0, 60*time.Second, 20*time.Second)
+		transitions, prev := 0, false
+		w.eng.Every(time.Second, time.Second, 0, func() {
+			if cur := nd.Online(); cur != prev {
+				transitions++
+				prev = cur
+			}
+		})
+		w.eng.Run(20 * time.Minute)
+		return transitions
+	}
+	base, fast := cycles(0), cycles(8)
+	if fast <= 2*base {
+		t.Errorf("scale 8 produced %d on/off transitions vs %d unscaled; faster churn must cycle much more", fast, base)
+	}
+	if nd := buildWorld(t, 21, 1, 0).peers[0]; nd.ChurnScale() != 1 {
+		t.Errorf("default churn scale = %v, want 1", nd.ChurnScale())
+	}
+}
+
+func TestSetChurnScaleRejectsNonPositive(t *testing.T) {
+	w := buildWorld(t, 22, 1, 0)
+	defer func() {
+		if recover() == nil {
+			t.Error("SetChurnScale(0) did not panic")
+		}
+	}()
+	w.peers[0].SetChurnScale(0)
+}

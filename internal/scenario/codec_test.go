@@ -1,0 +1,184 @@
+package scenario
+
+import (
+	"bytes"
+	"path/filepath"
+	"reflect"
+	"strings"
+	"testing"
+)
+
+// TestEveryRegisteredScenarioRoundTrips: the codec contract — each builtin
+// spec survives Encode→Decode bit-for-bit and still validates afterwards.
+func TestEveryRegisteredScenarioRoundTrips(t *testing.T) {
+	for _, name := range Names() {
+		s, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var buf bytes.Buffer
+		if err := Encode(&buf, s); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		back, err := DecodeBytes(buf.Bytes())
+		if err != nil {
+			t.Fatalf("%s: decode: %v\nencoded:\n%s", name, err, buf.String())
+		}
+		if !reflect.DeepEqual(s, back) {
+			t.Errorf("%s does not round-trip:\n want %+v\n got  %+v\nencoded:\n%s", name, s, back, buf.String())
+		}
+		if err := back.Validate(); err != nil {
+			t.Errorf("%s: decoded spec no longer validates: %v", name, err)
+		}
+	}
+}
+
+// TestEncodedKindsAreNames: a file spec must never contain raw enum ints —
+// that is the whole point of the named codec.
+func TestEncodedKindsAreNames(t *testing.T) {
+	s, _ := ByName("regional")
+	var buf bytes.Buffer
+	if err := Encode(&buf, s); err != nil {
+		t.Fatal(err)
+	}
+	out := buf.String()
+	for _, want := range []string{`"kind": "regional-churn"`, `"kind": "country-throttle"`, `"country": "CN"`} {
+		if !strings.Contains(out, want) {
+			t.Errorf("encoded spec missing %s:\n%s", want, out)
+		}
+	}
+	if strings.Contains(out, `"kind": 0`) || strings.Contains(out, `"kind":0`) {
+		t.Errorf("encoded spec leaks raw kind ints:\n%s", out)
+	}
+}
+
+func TestDecodeRejectsUnknownKind(t *testing.T) {
+	_, err := DecodeBytes([]byte(`{"name":"x","events":[{"kind":"meteor","from":0,"to":1}]}`))
+	if err == nil {
+		t.Fatal("unknown kind name decoded")
+	}
+	if !strings.Contains(err.Error(), "meteor") || !strings.Contains(err.Error(), "zap") {
+		t.Errorf("error %q should name the bad kind and list valid ones", err)
+	}
+}
+
+func TestDecodeRejectsUnknownShape(t *testing.T) {
+	_, err := DecodeBytes([]byte(`{"name":"x","events":[{"kind":"arrivals","from":0,"to":1,"shape":"spike"}]}`))
+	if err == nil {
+		t.Fatal("unknown shape name decoded")
+	}
+}
+
+func TestDecodeRejectsUnknownField(t *testing.T) {
+	_, err := DecodeBytes([]byte(`{"name":"x","extr_peer_factor":1}`))
+	if err == nil {
+		t.Fatal("typo'd field decoded silently — it would run a different scenario than authored")
+	}
+}
+
+func TestDecodeRejectsInvalidSpec(t *testing.T) {
+	// Well-formed JSON, malformed scenario: validation must run at decode.
+	_, err := DecodeBytes([]byte(`{"name":"x","events":[{"kind":"zap","from":0.2,"to":0.4}]}`))
+	if err == nil {
+		t.Fatal("zap without fraction/mean_stay decoded")
+	}
+}
+
+func TestDecodeRejectsTrailingData(t *testing.T) {
+	_, err := DecodeBytes([]byte(`{"name":"x"} {"name":"y"}`))
+	if err == nil {
+		t.Fatal("two concatenated specs decoded as one")
+	}
+}
+
+func TestDecodeRejectsRawIntKind(t *testing.T) {
+	_, err := DecodeBytes([]byte(`{"name":"x","events":[{"kind":3,"from":0,"to":1}]}`))
+	if err == nil {
+		t.Fatal("raw int kind decoded; the schema is named kinds only")
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile(filepath.Join(t.TempDir(), "nope.json")); err == nil {
+		t.Fatal("missing file loaded")
+	}
+}
+
+// TestShippedExampleSpecsLoad: every spec under examples/scenarios/ must
+// decode, validate and (for registry-named ones) match its registered twin —
+// the shipped files are the doc, so they must never drift from the code.
+func TestShippedExampleSpecsLoad(t *testing.T) {
+	files, err := filepath.Glob(filepath.Join("..", "..", "examples", "scenarios", "*.json"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) < 4 {
+		t.Fatalf("expected shipped example specs, found %d: %v", len(files), files)
+	}
+	seen := map[string]bool{}
+	for _, f := range files {
+		s, err := LoadFile(f)
+		if err != nil {
+			t.Errorf("%s: %v", f, err)
+			continue
+		}
+		seen[s.Name] = true
+		if reg, err := ByName(s.Name); err == nil {
+			if !reflect.DeepEqual(reg, s) {
+				t.Errorf("%s drifted from the registered %q scenario:\n file %+v\n code %+v", f, s.Name, s, reg)
+			}
+		}
+	}
+	for _, want := range []string{"zapping", "failover"} {
+		if !seen[want] {
+			t.Errorf("no shipped example spec named %q", want)
+		}
+	}
+}
+
+func TestKindNamesCoverEveryKind(t *testing.T) {
+	names := KindNames()
+	if len(names) != len(kindNames) {
+		t.Fatalf("KindNames returned %d names for %d kinds — a kind constant is missing its name", len(names), len(kindNames))
+	}
+	for _, n := range names {
+		if n == "" {
+			t.Fatal("kind with empty wire name")
+		}
+		k, err := ParseKind(n)
+		if err != nil {
+			t.Errorf("ParseKind(%q): %v", n, err)
+		}
+		if k.String() != n {
+			t.Errorf("name %q parses to kind whose String is %q", n, k)
+		}
+	}
+	if _, err := ParseKind("Kind(7)"); err == nil {
+		t.Error("String fallback form parsed as a kind")
+	}
+}
+
+func TestShapeNamesRoundTrip(t *testing.T) {
+	for _, n := range ShapeNames() {
+		s, err := ParseShape(n)
+		if err != nil {
+			t.Errorf("ParseShape(%q): %v", n, err)
+		}
+		if s.String() != n {
+			t.Errorf("shape name %q round-trips to %q", n, s)
+		}
+	}
+}
+
+func TestCloneIsDeep(t *testing.T) {
+	orig, _ := ByName("flashcrowd")
+	cp := orig.Clone()
+	cp.Name = "mutant"
+	cp.Events[0].From = 0.99
+	if orig.Name != "flashcrowd" || orig.Events[0].From == 0.99 {
+		t.Errorf("Clone shares state with the original: %+v", orig)
+	}
+	if (*Spec)(nil).Clone() != nil {
+		t.Error("nil Clone should stay nil")
+	}
+}

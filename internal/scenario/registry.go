@@ -19,6 +19,9 @@ var registry = []struct {
 	{"partition", partition},
 	{"outage", outage},
 	{"throttle", throttle},
+	{"failover", failover},
+	{"zapping", zapping},
+	{"regional", regional},
 }
 
 // Names lists the registered scenarios in presentation order.
@@ -117,6 +120,50 @@ func throttle() Spec {
 		Description: "half the peers throttled to 25% link capacity during [40%, 70%] of the run",
 		Events: []Event{
 			{Kind: Throttle, From: 0.4, To: 0.7, Fraction: 0.5, Factor: 0.25},
+		},
+	}
+}
+
+// failover kills the stream source mid-run; a high-bandwidth background
+// peer is promoted after a 5%-of-horizon gap. The gap is the window where
+// no one can refill the live edge — how fast continuity recovers afterwards
+// is the swarm-resilience figure the epidemic-streaming literature argues
+// about.
+func failover() Spec {
+	return Spec{
+		Name:        "failover",
+		Description: "the source retires at 40% of the run; a high-bandwidth backup peer is promoted at 45%",
+		Events: []Event{
+			{Kind: SourceFailover, From: 0.4, To: 0.45},
+		},
+	}
+}
+
+// zapping scripts a program boundary without an exodus: a chunk of the
+// audience zaps away to other channels and surfs back after short
+// exponential away times — the churn spike IPTV measurement studies report
+// around program transitions.
+func zapping() Spec {
+	return Spec{
+		Name:        "zapping",
+		Description: "40% of the audience zaps away during [50%, 60%] of the run and surfs back after ~5%-of-horizon away times",
+		Events: []Event{
+			{Kind: Zap, From: 0.5, To: 0.6, Fraction: 0.4, MeanStay: 0.05},
+		},
+	}
+}
+
+// regional hits the channel's home country with a correlated incident: CN
+// peers flap three times as often while their access links run at 40%
+// capacity — the condition under which locality-aware policies either keep
+// traffic local or abandon the region.
+func regional() Spec {
+	return Spec{
+		Name:        "regional",
+		Description: "CN peers churn 3x faster and run at 40% link capacity during [30%, 60%] of the run",
+		Events: []Event{
+			{Kind: RegionalChurn, From: 0.3, To: 0.6, Country: "CN", Factor: 3},
+			{Kind: CountryThrottle, From: 0.3, To: 0.6, Country: "CN", Factor: 0.4},
 		},
 	}
 }

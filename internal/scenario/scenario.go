@@ -20,6 +20,7 @@ package scenario
 
 import (
 	"fmt"
+	"strings"
 	"time"
 
 	"napawine/internal/topology"
@@ -48,23 +49,87 @@ const (
 	// TrackerOutage pauses the tracker for the [From, To] window: discovery
 	// stalls, established partnerships keep streaming.
 	TrackerOutage
+	// SourceFailover retires the stream source at From; at To a designated
+	// backup peer (the first high-bandwidth background peer, optionally
+	// restricted to Country) is promoted to be the new injection point.
+	// The [From, To] gap is the blackout no peer can fill from the feed.
+	SourceFailover
+	// RegionalChurn scales the churn rate of one Country's peers by Factor
+	// during the [From, To] window: a correlated regional instability
+	// (power flickers, access-network flaps) rather than independent churn.
+	RegionalChurn
+	// CountryThrottle runs every one of Country's peers' access links at
+	// Factor × capacity during the [From, To] window — structural
+	// targeting like Partition, the link action of Throttle.
+	CountryThrottle
+	// Zap scripts a channel-zapping audience: a Fraction of the online
+	// peers Leave at random instants in the [From, To] window and rejoin
+	// after short exponential away times with mean MeanStay (a horizon
+	// fraction) — program-boundary surfing, not an exodus.
+	Zap
 )
+
+// kindNames maps each kind to its stable wire/doc name. The codec round-
+// trips specs through these names, never raw ints, so a file stays readable
+// and survives reordering of the Kind constants.
+var kindNames = map[Kind]string{
+	Arrivals:        "arrivals",
+	Departures:      "departures",
+	Partition:       "partition",
+	Throttle:        "throttle",
+	TrackerOutage:   "tracker-outage",
+	SourceFailover:  "source-failover",
+	RegionalChurn:   "regional-churn",
+	CountryThrottle: "country-throttle",
+	Zap:             "zap",
+}
 
 // String names the kind for error messages and docs.
 func (k Kind) String() string {
-	switch k {
-	case Arrivals:
-		return "arrivals"
-	case Departures:
-		return "departures"
-	case Partition:
-		return "partition"
-	case Throttle:
-		return "throttle"
-	case TrackerOutage:
-		return "tracker-outage"
+	if name, ok := kindNames[k]; ok {
+		return name
 	}
 	return fmt.Sprintf("Kind(%d)", int(k))
+}
+
+// KindNames lists every event kind's wire name in declaration order, for
+// docs and error messages.
+func KindNames() []string {
+	out := make([]string, 0, len(kindNames))
+	for k := Arrivals; int(k) < len(kindNames); k++ {
+		out = append(out, kindNames[k])
+	}
+	return out
+}
+
+// ParseKind resolves a wire name back to its Kind.
+func ParseKind(name string) (Kind, error) {
+	for k, n := range kindNames {
+		if n == name {
+			return k, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown event kind %q (want %s)",
+		name, strings.Join(KindNames(), ", "))
+}
+
+// MarshalText encodes the kind as its wire name (the JSON codec rides on
+// this, so specs never contain raw enum ints).
+func (k Kind) MarshalText() ([]byte, error) {
+	if name, ok := kindNames[k]; ok {
+		return []byte(name), nil
+	}
+	return nil, fmt.Errorf("scenario: unencodable event kind %d", int(k))
+}
+
+// UnmarshalText decodes a wire name.
+func (k *Kind) UnmarshalText(b []byte) error {
+	parsed, err := ParseKind(string(b))
+	if err != nil {
+		return err
+	}
+	*k = parsed
+	return nil
 }
 
 // Shape selects the arrival-time density of an Arrivals event.
@@ -83,11 +148,66 @@ const (
 	ShapeWave
 )
 
+// shapeNames maps each shape to its stable wire/doc name.
+var shapeNames = map[Shape]string{
+	ShapeUniform: "uniform",
+	ShapeBurst:   "burst",
+	ShapeWave:    "wave",
+}
+
+// String names the shape for error messages and docs.
+func (s Shape) String() string {
+	if name, ok := shapeNames[s]; ok {
+		return name
+	}
+	return fmt.Sprintf("Shape(%d)", int(s))
+}
+
+// ShapeNames lists every arrival shape's wire name in declaration order.
+func ShapeNames() []string {
+	out := make([]string, 0, len(shapeNames))
+	for s := ShapeUniform; int(s) < len(shapeNames); s++ {
+		out = append(out, shapeNames[s])
+	}
+	return out
+}
+
+// ParseShape resolves a wire name back to its Shape.
+func ParseShape(name string) (Shape, error) {
+	for s, n := range shapeNames {
+		if n == name {
+			return s, nil
+		}
+	}
+	return 0, fmt.Errorf("scenario: unknown arrival shape %q (want %s)",
+		name, strings.Join(ShapeNames(), ", "))
+}
+
+// MarshalText encodes the shape as its wire name.
+func (s Shape) MarshalText() ([]byte, error) {
+	if name, ok := shapeNames[s]; ok {
+		return []byte(name), nil
+	}
+	return nil, fmt.Errorf("scenario: unencodable arrival shape %d", int(s))
+}
+
+// UnmarshalText decodes a wire name.
+func (s *Shape) UnmarshalText(b []byte) error {
+	parsed, err := ParseShape(string(b))
+	if err != nil {
+		return err
+	}
+	*s = parsed
+	return nil
+}
+
 // Event is one timeline entry. From and To are fractions of the experiment
-// horizon in [0, 1]; point events use From == To.
+// horizon in [0, 1]; point events use From == To. The json tags are the
+// file-spec schema (see Decode/Encode): kinds and shapes travel as names.
 type Event struct {
-	Kind     Kind
-	From, To float64
+	Kind Kind    `json:"kind"`
+	From float64 `json:"from"`
+	To   float64 `json:"to"`
 
 	// Arrivals knobs.
 	//
@@ -95,41 +215,58 @@ type Event struct {
 	// means every peer not claimed by an earlier Arrivals event. MeanStay,
 	// when positive, gives activated peers exponential session lengths with
 	// this mean (as a fraction of the horizon); zero means they stay to the
-	// end.
-	Peers    float64
-	Shape    Shape
-	MeanStay float64
+	// end. Zap reuses MeanStay as the mean away time (required there).
+	Peers    float64 `json:"peers,omitempty"`
+	Shape    Shape   `json:"shape,omitempty"`
+	MeanStay float64 `json:"mean_stay,omitempty"`
 
-	// Departures / Throttle target share of the eligible population.
-	Fraction float64
+	// Departures / Throttle / Zap target share of the eligible population.
+	Fraction float64 `json:"fraction,omitempty"`
 
 	// Partition targeting: all ASes of Country when set, otherwise the
 	// ASes most-populated *background* ASes (ties broken by lower AS
 	// number; the deferred pool does not influence the ranking but is
-	// blacked out with the chosen ASes).
-	Country topology.CC
-	ASes    int
+	// blacked out with the chosen ASes). RegionalChurn and CountryThrottle
+	// require Country; SourceFailover optionally restricts the backup peer
+	// to Country.
+	Country topology.CC `json:"country,omitempty"`
+	ASes    int         `json:"ases,omitempty"`
 
-	// Throttle capacity multiplier (0.25 = quarter speed).
-	Factor float64
+	// Throttle / CountryThrottle capacity multiplier (0.25 = quarter
+	// speed); RegionalChurn churn-rate multiplier (3 = flap 3× as often).
+	Factor float64 `json:"factor,omitempty"`
 }
 
 // Spec is a named, declarative workload timeline.
 type Spec struct {
-	Name        string
-	Description string
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
 
 	// ExtraPeerFactor sizes the deferred peer pool relative to the base
 	// background population (1.0 doubles the potential swarm). The
 	// experiment layer synthesizes the pool via world.Spec.ExtraPeers.
-	ExtraPeerFactor float64
+	ExtraPeerFactor float64 `json:"extra_peer_factor,omitempty"`
 
 	// Buckets is the number of time-series sample buckets over the run
 	// (0 selects DefaultBuckets; clamped to MaxBuckets so per-run summary
 	// memory stays bounded no matter what a spec asks for).
-	Buckets int
+	Buckets int `json:"buckets,omitempty"`
 
-	Events []Event
+	Events []Event `json:"events,omitempty"`
+}
+
+// Clone returns an independent deep copy: mutating the copy (or compiling
+// it) can never leak into the original. Parallel battery layers hand each
+// worker its own clone so one Spec value is never shared across goroutines.
+func (s *Spec) Clone() *Spec {
+	if s == nil {
+		return nil
+	}
+	cp := *s
+	if s.Events != nil {
+		cp.Events = append([]Event(nil), s.Events...)
+	}
+	return &cp
 }
 
 // Time-series bucket bounds. MaxBuckets caps the memory every run summary
@@ -167,27 +304,61 @@ func (s *Spec) Validate() error {
 		}
 	}
 	// Windowed incident kinds toggle absolute state (block/unblock, pause/
-	// resume, throttle/restore), so two live windows of the same kind would
-	// end each other early. Reject the overlap loudly instead of running a
-	// timeline that silently means something else. Touching windows count
-	// as overlapping: same-instant ordering would depend on event order.
-	windowed := func(k Kind) bool { return k == Partition || k == Throttle || k == TrackerOutage }
+	// resume, throttle/restore), so two live windows over the same state
+	// would end each other early. Reject the overlap loudly instead of
+	// running a timeline that silently means something else. Touching
+	// windows count as overlapping: same-instant ordering would depend on
+	// event order.
 	for i, a := range s.Events {
-		if !windowed(a.Kind) {
-			continue
-		}
 		for j := i + 1; j < len(s.Events); j++ {
 			b := s.Events[j]
-			if b.Kind != a.Kind {
+			if !windowsConflict(a, b) {
 				continue
 			}
 			if a.From <= b.To && b.From <= a.To {
-				return fmt.Errorf("scenario %s: events %d and %d: overlapping %v windows [%v, %v] and [%v, %v]",
-					s.Name, i, j, a.Kind, a.From, a.To, b.From, b.To)
+				return fmt.Errorf("scenario %s: events %d and %d: overlapping %v and %v windows [%v, %v] and [%v, %v]",
+					s.Name, i, j, a.Kind, b.Kind, a.From, a.To, b.From, b.To)
+			}
+		}
+	}
+	// A second failover has no source left to fail: the promoted backup is
+	// chosen at compile time, before the first failover rewires the swarm.
+	failovers := 0
+	for i, ev := range s.Events {
+		if ev.Kind == SourceFailover {
+			if failovers++; failovers > 1 {
+				return fmt.Errorf("scenario %s: event %d: more than one source-failover", s.Name, i)
 			}
 		}
 	}
 	return nil
+}
+
+// windowsConflict reports whether two events toggle the same absolute state
+// and therefore must not have overlapping windows. Country-targeted kinds
+// conflict only when they hit the same country; Throttle and CountryThrottle
+// share the link-scale state, so they conflict across kinds (a random-victim
+// throttle may land on the throttled country's peers and its restore would
+// end the country window early).
+func windowsConflict(a, b Event) bool {
+	windowed := func(k Kind) bool {
+		switch k {
+		case Partition, Throttle, TrackerOutage, RegionalChurn, CountryThrottle:
+			return true
+		}
+		return false
+	}
+	if !windowed(a.Kind) || !windowed(b.Kind) {
+		return false
+	}
+	linkScale := func(k Kind) bool { return k == Throttle || k == CountryThrottle }
+	if a.Kind != b.Kind {
+		return linkScale(a.Kind) && linkScale(b.Kind)
+	}
+	if a.Kind == RegionalChurn || a.Kind == CountryThrottle {
+		return a.Country == b.Country
+	}
+	return true
 }
 
 func (ev Event) validate() error {
@@ -223,6 +394,27 @@ func (ev Event) validate() error {
 	case TrackerOutage:
 		if ev.From == ev.To {
 			return fmt.Errorf("tracker-outage: zero-length window")
+		}
+	case SourceFailover:
+		// From == To is legal: the backup takes over the instant the
+		// source dies. Country, when set, restricts the backup choice and
+		// is checked against the population at compile time.
+	case RegionalChurn, CountryThrottle:
+		if ev.Country == "" {
+			return fmt.Errorf("%v: no country", ev.Kind)
+		}
+		if ev.Factor <= 0 {
+			return fmt.Errorf("%v: non-positive factor %v", ev.Kind, ev.Factor)
+		}
+		if ev.From == ev.To {
+			return fmt.Errorf("%v: zero-length window", ev.Kind)
+		}
+	case Zap:
+		if ev.Fraction <= 0 || ev.Fraction > 1 {
+			return fmt.Errorf("zap: fraction %v outside (0, 1]", ev.Fraction)
+		}
+		if ev.MeanStay <= 0 {
+			return fmt.Errorf("zap: non-positive mean away time %v", ev.MeanStay)
 		}
 	default:
 		return fmt.Errorf("unknown event kind %d", int(ev.Kind))

@@ -159,6 +159,15 @@ func TestValidateRejectsMalformedEvents(t *testing.T) {
 		{Kind: Throttle, From: 0.4, To: 0.6, Fraction: 0.5},   // no factor
 		{Kind: Throttle, From: 0.4, To: 0.6, Factor: 0.5},     // no fraction
 		{Kind: TrackerOutage, From: 0.5, To: 0.5},
+		{Kind: RegionalChurn, From: 0.4, To: 0.6, Factor: 2},                   // no country
+		{Kind: RegionalChurn, From: 0.4, To: 0.6, Country: "CN"},               // no factor
+		{Kind: RegionalChurn, From: 0.5, To: 0.5, Country: "CN", Factor: 2},    // empty window
+		{Kind: CountryThrottle, From: 0.4, To: 0.6, Factor: 0.5},               // no country
+		{Kind: CountryThrottle, From: 0.4, To: 0.6, Country: "CN"},             // no factor
+		{Kind: CountryThrottle, From: 0.5, To: 0.5, Country: "CN", Factor: .5}, // empty window
+		{Kind: Zap, From: 0.5, To: 0.6, MeanStay: 0.05},                        // no fraction
+		{Kind: Zap, From: 0.5, To: 0.6, Fraction: 1.5, MeanStay: 0.05},         // too big
+		{Kind: Zap, From: 0.5, To: 0.6, Fraction: 0.4},                         // no mean away
 		{Kind: Kind(99), From: 0, To: 1},
 	}
 	for i, ev := range bad {
@@ -468,6 +477,344 @@ func TestValidateRejectsOverlappingWindows(t *testing.T) {
 	}}
 	if err := good.Validate(); err != nil {
 		t.Errorf("disjoint/different-kind windows rejected: %v", err)
+	}
+}
+
+// TestValidateWindowRulesForNewKinds: country-targeted windows conflict only
+// within a country; Throttle and CountryThrottle share the link-scale state
+// and therefore conflict across kinds; only one SourceFailover is allowed.
+func TestValidateWindowRulesForNewKinds(t *testing.T) {
+	bad := [][]Event{
+		{ // same-country regional churn windows overlap
+			{Kind: RegionalChurn, From: 0.2, To: 0.5, Country: "CN", Factor: 2},
+			{Kind: RegionalChurn, From: 0.4, To: 0.8, Country: "CN", Factor: 3},
+		},
+		{ // same-country throttle windows overlap
+			{Kind: CountryThrottle, From: 0.2, To: 0.5, Country: "IT", Factor: 0.5},
+			{Kind: CountryThrottle, From: 0.5, To: 0.8, Country: "IT", Factor: 0.25},
+		},
+		{ // random-victim throttle may land on the throttled country
+			{Kind: Throttle, From: 0.2, To: 0.5, Fraction: 0.5, Factor: 0.5},
+			{Kind: CountryThrottle, From: 0.4, To: 0.8, Country: "CN", Factor: 0.5},
+		},
+		{ // two failovers
+			{Kind: SourceFailover, From: 0.2, To: 0.25},
+			{Kind: SourceFailover, From: 0.6, To: 0.65},
+		},
+	}
+	for i, events := range bad {
+		s := Spec{Name: "clash", Events: events}
+		if err := s.Validate(); err == nil {
+			t.Errorf("case %d: conflicting timeline validated", i)
+		}
+	}
+	good := Spec{Name: "fine", Events: []Event{
+		// Different countries may overlap freely, zap overlaps anything,
+		// and a single failover rides alongside.
+		{Kind: RegionalChurn, From: 0.2, To: 0.6, Country: "CN", Factor: 2},
+		{Kind: RegionalChurn, From: 0.3, To: 0.5, Country: "IT", Factor: 2},
+		{Kind: CountryThrottle, From: 0.65, To: 0.9, Country: "CN", Factor: 0.5},
+		{Kind: Zap, From: 0.3, To: 0.5, Fraction: 0.2, MeanStay: 0.02},
+		{Kind: Zap, From: 0.4, To: 0.6, Fraction: 0.2, MeanStay: 0.02},
+		{Kind: SourceFailover, From: 0.7, To: 0.7},
+	}}
+	if err := good.Validate(); err != nil {
+		t.Errorf("legal timeline rejected: %v", err)
+	}
+}
+
+// TestExpStaySmallMeanKeepsFloor: the documented one-second floor must win
+// over the 6×-mean cap. Before the fix, means under ~167ms clamped draws to
+// 6×mean < 1s — short -dur smoke runs got sub-second sessions the docs
+// promise cannot happen.
+func TestExpStaySmallMeanKeepsFloor(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for i := 0; i < 2000; i++ {
+		if d := expStay(rng, 50*time.Millisecond); d < time.Second {
+			t.Fatalf("draw %d: stay %v below the one-second floor (mean 50ms)", i, d)
+		}
+	}
+	// The large-mean regime keeps both bounds: floor 1s, cap 6×mean.
+	for i := 0; i < 2000; i++ {
+		d := expStay(rng, 10*time.Second)
+		if d < time.Second || d > 60*time.Second {
+			t.Fatalf("draw %d: stay %v outside [1s, 60s] (mean 10s)", i, d)
+		}
+	}
+}
+
+// TestCompileFailsLoudlyOnEmptyArrivals: an Arrivals event with no deferred
+// pool must be a compile error, not a silent no-op — a file-authored spec
+// with ExtraPeerFactor 0 would otherwise "run" and inject nothing.
+func TestCompileFailsLoudlyOnEmptyArrivals(t *testing.T) {
+	r := buildRig(t, 10, 8, 0)
+	s, _ := ByName("flashcrowd")
+	err := Compile(s, r.env(time.Minute))
+	if err == nil {
+		t.Fatal("arrivals with an empty deferred pool compiled silently")
+	}
+	if !contains(err.Error(), "deferred pool") {
+		t.Errorf("error %q should explain the empty pool", err)
+	}
+
+	// An exhausted pool is the same bug one event later.
+	r2 := buildRig(t, 11, 4, 6)
+	exhausted := &Spec{Name: "greedy", Events: []Event{
+		{Kind: Arrivals, From: 0.1, To: 0.2},
+		{Kind: Arrivals, From: 0.5, To: 0.6},
+	}}
+	if err := Compile(exhausted, r2.env(time.Minute)); err == nil {
+		t.Error("second arrivals event over an exhausted pool compiled silently")
+	}
+
+	// A pool share so small it activates nobody is equally silent death.
+	r3 := buildRig(t, 12, 4, 6)
+	tiny := &Spec{Name: "tiny", Events: []Event{
+		{Kind: Arrivals, From: 0.1, To: 0.2, Peers: 0.01},
+	}}
+	if err := Compile(tiny, r3.env(time.Minute)); err == nil {
+		t.Error("arrivals activating zero peers compiled silently")
+	}
+}
+
+// TestSourceFailoverPromotesBackup: the source retires at From; at To the
+// designated backup is the new origin and the swarm keeps moving video.
+func TestSourceFailoverPromotesBackup(t *testing.T) {
+	r := buildRig(t, 13, 12, 0)
+	s, _ := ByName("failover") // failover at [40%, 45%]
+	if err := Compile(s, r.env(100*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	oldSrc := r.src
+	r.eng.Run(42 * time.Second) // source dead, backup not yet promoted
+	if oldSrc.Online() || !oldSrc.Retired() {
+		t.Error("source not retired inside the failover gap")
+	}
+	if got := r.net.Source(); got != oldSrc {
+		t.Error("source handed over before the promotion instant")
+	}
+	r.eng.Run(50 * time.Second) // past promotion
+	newSrc := r.net.Source()
+	if newSrc == oldSrc || newSrc == nil {
+		t.Fatal("no backup promoted after the gap")
+	}
+	if !newSrc.IsSource() || oldSrc.IsSource() {
+		t.Error("IsSource not handed over")
+	}
+	if !newSrc.Online() {
+		t.Error("promoted backup is offline")
+	}
+	videoAt50 := r.net.Ledger.VideoTotal
+	r.eng.Run(100 * time.Second)
+	if r.net.Ledger.VideoTotal <= videoAt50 {
+		t.Error("swarm moved no video after the failover")
+	}
+}
+
+// TestSourceFailoverNeedsBackup: a spec whose selector matches no backup
+// peer must fail at compile time.
+func TestSourceFailoverNeedsBackup(t *testing.T) {
+	r := buildRig(t, 14, 6, 0)
+	s := &Spec{Name: "doomed", Events: []Event{
+		{Kind: SourceFailover, From: 0.4, To: 0.5, Country: "US"},
+	}}
+	if err := Compile(s, r.env(time.Minute)); err == nil {
+		t.Error("failover with no matching backup compiled")
+	}
+	empty := &Spec{Name: "alone", Events: []Event{
+		{Kind: SourceFailover, From: 0.4, To: 0.5},
+	}}
+	if err := Compile(empty, Env{Eng: r.eng, Net: r.net, Horizon: time.Minute}); err == nil {
+		t.Error("failover with no background peers compiled")
+	}
+}
+
+// TestRegionalChurnScalesOneCountry: CN peers flap faster inside the window
+// and are restored after; IT peers never change.
+func TestRegionalChurnScalesOneCountry(t *testing.T) {
+	r := buildRig(t, 15, 12, 0)
+	s := &Spec{Name: "storm", Events: []Event{
+		{Kind: RegionalChurn, From: 0.3, To: 0.7, Country: "CN", Factor: 4},
+	}}
+	if err := Compile(s, r.env(100*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	check := func(at time.Duration, wantCN float64) {
+		r.eng.Run(at)
+		for i, nd := range r.background {
+			want := 1.0
+			if nd.Host.Country == "CN" {
+				want = wantCN
+			}
+			if got := nd.ChurnScale(); got != want {
+				t.Errorf("at %v: peer %d (%s) churn scale %v, want %v", at, i, nd.Host.Country, got, want)
+			}
+		}
+	}
+	check(20*time.Second, 1)
+	check(50*time.Second, 4)
+	check(80*time.Second, 1)
+}
+
+func TestRegionalChurnNoMatchFails(t *testing.T) {
+	r := buildRig(t, 16, 6, 0)
+	s := &Spec{Name: "ghost", Events: []Event{
+		{Kind: RegionalChurn, From: 0.3, To: 0.7, Country: "US", Factor: 2},
+	}}
+	if err := Compile(s, r.env(time.Minute)); err == nil {
+		t.Error("regional churn matching no peers compiled")
+	}
+}
+
+// TestCountryThrottleScalesAndRestores: every CN link runs at the factor
+// inside the window and is restored after; other countries are untouched.
+func TestCountryThrottleScalesAndRestores(t *testing.T) {
+	r := buildRig(t, 17, 12, 0)
+	s := &Spec{Name: "squeeze", Events: []Event{
+		{Kind: CountryThrottle, From: 0.3, To: 0.7, Country: "CN", Factor: 0.25},
+	}}
+	if err := Compile(s, r.env(100*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	full := access.LAN100.Spec.Up
+	r.eng.Run(50 * time.Second)
+	for i, nd := range r.background {
+		throttled := nd.Link.Spec.Up < full
+		if wantThrottled := nd.Host.Country == "CN"; throttled != wantThrottled {
+			t.Errorf("mid-window peer %d (%s): throttled=%v, want %v", i, nd.Host.Country, throttled, wantThrottled)
+		}
+	}
+	r.eng.Run(80 * time.Second)
+	for i, nd := range r.background {
+		if nd.Link.Spec.Up != full {
+			t.Errorf("peer %d link not restored: %v", i, nd.Link.Spec.Up)
+		}
+	}
+}
+
+func TestCountryThrottleNoMatchFails(t *testing.T) {
+	r := buildRig(t, 18, 6, 0)
+	s := &Spec{Name: "ghost", Events: []Event{
+		{Kind: CountryThrottle, From: 0.3, To: 0.7, Country: "US", Factor: 0.5},
+	}}
+	if err := Compile(s, r.env(time.Minute)); err == nil {
+		t.Error("country throttle matching no peers compiled")
+	}
+}
+
+// TestZapLeavesAndRejoins: zap victims go offline inside the window and
+// surf back — no one is retired, and the swarm ends the run repopulated.
+func TestZapLeavesAndRejoins(t *testing.T) {
+	r := buildRig(t, 19, 16, 0)
+	s := &Spec{Name: "surf", Events: []Event{
+		{Kind: Zap, From: 0.3, To: 0.35, Fraction: 0.5, MeanStay: 0.02},
+	}}
+	if err := Compile(s, r.env(200*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(70 * time.Second) // mid-surf: leaves done at 70s = 35%
+	dipped := 0
+	for _, nd := range r.background {
+		if !nd.Online() {
+			dipped++
+		}
+		if nd.Retired() {
+			t.Error("zap retired a viewer; zapping must be temporary")
+		}
+	}
+	if dipped == 0 {
+		t.Error("zap window took no one offline")
+	}
+	r.eng.Run(200 * time.Second)
+	back := 0
+	for _, nd := range r.background {
+		if nd.Online() {
+			back++
+		}
+	}
+	if back != len(r.background) {
+		t.Errorf("only %d/%d peers online at the end; zappers must surf back", back, len(r.background))
+	}
+}
+
+// TestZapDoesNotResurrectEndedSessions: a zapped-away arrivals viewer whose
+// finite session would have ended while it was off surfing must stay gone —
+// the session-end Leave no-ops on the offline node, and an unconditional
+// rejoin would resurrect the viewer for the rest of the run.
+func TestZapDoesNotResurrectEndedSessions(t *testing.T) {
+	r := buildRig(t, 23, 0, 20)
+	s := &Spec{Name: "boundary", Events: []Event{
+		// Whole pool in by 2% of the run, sessions mean 3% (ends ≤ 20%).
+		{Kind: Arrivals, From: 0, To: 0.02, MeanStay: 0.03},
+		// Everyone still watching at 5% zaps away for ~50% of the horizon:
+		// nearly every away time outlives the viewer's own session.
+		{Kind: Zap, From: 0.05, To: 0.06, Fraction: 1.0, MeanStay: 0.5},
+	}}
+	if err := Compile(s, r.env(200*time.Second)); err != nil {
+		t.Fatal(err)
+	}
+	r.eng.Run(10 * time.Second) // past the arrival window
+	watching := 0
+	for _, nd := range r.deferred {
+		if nd.Online() {
+			watching++
+		}
+	}
+	if watching == 0 {
+		t.Fatal("setup: no arrivals online before the zap window")
+	}
+	r.eng.Run(200 * time.Second)
+	// Every session was scheduled to end by ~20% of the run (join ≤ 4s +
+	// 6×mean cap 36s), so by the horizon the audience must be gone — a
+	// survivor is a zap rejoin that outlived its own session.
+	for i, nd := range r.deferred {
+		if nd.Online() {
+			t.Errorf("peer %d resurrected by a zap rejoin after its session ended", i)
+		}
+	}
+}
+
+// TestNewScenariosDeterministic: the cross-worker byte-identity contract for
+// every new event kind — same seed + spec ⇒ identical event counts, video
+// totals and online populations, however many runs happen around them.
+func TestNewScenariosDeterministic(t *testing.T) {
+	specs := map[string]func() *Spec{
+		"failover": func() *Spec { s, _ := ByName("failover"); return s },
+		"zapping":  func() *Spec { s, _ := ByName("zapping"); return s },
+		"regional": func() *Spec { s, _ := ByName("regional"); return s },
+		"combined": func() *Spec {
+			return &Spec{Name: "combined", Events: []Event{
+				{Kind: RegionalChurn, From: 0.1, To: 0.4, Country: "CN", Factor: 3},
+				{Kind: CountryThrottle, From: 0.5, To: 0.7, Country: "IT", Factor: 0.5},
+				{Kind: Zap, From: 0.45, To: 0.55, Fraction: 0.3, MeanStay: 0.03},
+				{Kind: SourceFailover, From: 0.8, To: 0.85},
+			}}
+		},
+	}
+	for name, build := range specs {
+		run := func() (uint64, int64, int) {
+			r := buildRig(t, 77, 14, 0)
+			// Give half the peers churn cycles so RegionalChurn has teeth.
+			for i, nd := range r.background {
+				if i%2 == 0 {
+					nd.ScheduleChurn(time.Duration(i)*50*time.Millisecond, 30*time.Second, 8*time.Second)
+				}
+			}
+			if err := Compile(build(), r.env(2*time.Minute)); err != nil {
+				t.Fatalf("%s: %v", name, err)
+			}
+			r.eng.Run(2 * time.Minute)
+			return r.eng.Processed(), r.net.Ledger.VideoTotal, r.net.OnlineCount()
+		}
+		p1, v1, o1 := run()
+		p2, v2, o2 := run()
+		if p1 != p2 || v1 != v2 || o1 != o2 {
+			t.Errorf("%s: same seed+spec diverged: events %d/%d, video %d/%d, online %d/%d",
+				name, p1, p2, v1, v2, o1, o2)
+		}
+		if v1 == 0 {
+			t.Errorf("%s: scenario run moved no video", name)
+		}
 	}
 }
 

@@ -66,6 +66,12 @@ type Spec struct {
 	// SeriesTable.
 	Scenario string
 
+	// ScenarioSpec, when non-nil, is the workload timeline itself — a
+	// file-authored spec (scenario.LoadFile) or a custom-built one — and
+	// takes precedence over Scenario. The sweep never mutates it; every
+	// worker runs its own deep copy.
+	ScenarioSpec *scenario.Spec
+
 	// Strategy names a registered chunk-scheduling strategy
 	// (policy.StrategyNames) applied to every run of the battery (""
 	// keeps each profile's own strategy). This is how the
@@ -135,10 +141,21 @@ func Run(spec Spec) (*Result, error) {
 	appList := spec.apps()
 	variants := spec.variants()
 
-	// Resolve the scenario once; the spec is read-only during the sweep, so
-	// every parallel worker can share it safely.
+	// Resolve the scenario once up front so a bad name or spec fails before
+	// any CPU burns. Workers never run against the resolved pointer:
+	// experiment.Run deep-copies its spec on entry, so nothing a worker's
+	// Compile does can race with, or leak into, the other workers — the
+	// regression tests pin both the caller's spec and cross-worker output.
 	var scn *scenario.Spec
-	if spec.Scenario != "" {
+	if spec.ScenarioSpec != nil {
+		if err := spec.ScenarioSpec.Validate(); err != nil {
+			return nil, fmt.Errorf("sweep: %w", err)
+		}
+		scn = spec.ScenarioSpec
+		if spec.Scenario == "" {
+			spec.Scenario = scn.Name // label SeriesTable and logs
+		}
+	} else if spec.Scenario != "" {
 		var err error
 		scn, err = scenario.ByName(spec.Scenario)
 		if err != nil {

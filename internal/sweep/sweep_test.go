@@ -1,6 +1,7 @@
 package sweep
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -8,6 +9,7 @@ import (
 	"napawine/internal/experiment"
 	"napawine/internal/overlay"
 	"napawine/internal/policy"
+	"napawine/internal/scenario"
 )
 
 // synthetic builds a Result with hand-written summaries so aggregation can
@@ -312,5 +314,94 @@ func TestSweepStrategyDeterministicAcrossWorkers(t *testing.T) {
 	}
 	if stock := render(1, ""); stock == serial {
 		t.Error("rarest-first sweep rendered byte-identical tables to the stock strategy; the knob is not plumbed through")
+	}
+}
+
+// TestSweepLeavesScenarioSpecUnmodified is the shared-pointer regression
+// guard: the sweep hands every parallel worker its own deep copy, so the
+// caller's Spec must come back bit-for-bit identical — and the runs must
+// not be able to corrupt each other through it.
+func TestSweepLeavesScenarioSpecUnmodified(t *testing.T) {
+	scn, err := scenario.ByName("flashcrowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := scn.Clone()
+	_, err = Run(Spec{
+		Apps:         []string{"TVAnts"},
+		Seeds:        []int64{3, 4},
+		Duration:     20 * time.Second,
+		PeerFactor:   0.05,
+		Workers:      4,
+		ScenarioSpec: scn,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(scn, want) {
+		t.Errorf("sweep mutated the caller's scenario spec:\n before %+v\n after  %+v", want, scn)
+	}
+}
+
+// TestSweepFileSpecMatchesNamedScenario: a ScenarioSpec decoded from JSON
+// must reproduce the named registry run byte-for-byte — the file codec adds
+// a parser, never a different simulation.
+func TestSweepFileSpecMatchesNamedScenario(t *testing.T) {
+	base := Spec{
+		Apps:       []string{"TVAnts"},
+		Seeds:      []int64{5},
+		Duration:   20 * time.Second,
+		PeerFactor: 0.05,
+	}
+	render := func(spec Spec) string {
+		res, err := Run(spec)
+		if err != nil {
+			t.Fatal(err)
+		}
+		series := res.SeriesTable()
+		if series == nil {
+			t.Fatal("scenario sweep produced no series table")
+		}
+		var b strings.Builder
+		if err := series.Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		if err := res.TableII().Render(&b); err != nil {
+			t.Fatal(err)
+		}
+		return b.String()
+	}
+	named := base
+	named.Scenario = "flashcrowd"
+
+	var buf strings.Builder
+	reg, _ := scenario.ByName("flashcrowd")
+	if err := scenario.Encode(&buf, reg); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := scenario.DecodeBytes([]byte(buf.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	fileSpec := base
+	fileSpec.ScenarioSpec = decoded
+
+	a, b := render(named), render(fileSpec)
+	if a != b {
+		t.Errorf("file-decoded spec diverged from the named scenario:\n--- named ---\n%s\n--- file ---\n%s", a, b)
+	}
+	if !strings.Contains(b, "flashcrowd") {
+		t.Errorf("file-spec series table not labeled with the spec name:\n%s", b)
+	}
+}
+
+func TestSweepInvalidScenarioSpecFails(t *testing.T) {
+	_, err := Run(Spec{
+		Apps:         []string{"TVAnts"},
+		Trials:       1,
+		ScenarioSpec: &scenario.Spec{}, // nameless: invalid
+	})
+	if err == nil {
+		t.Fatal("invalid scenario spec accepted")
 	}
 }

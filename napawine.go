@@ -130,6 +130,10 @@ type Scale struct {
 	// Scenario names a registered workload scenario to replay in every
 	// run ("" = stationary default). See ScenarioNames.
 	Scenario string
+	// ScenarioSpec, when non-nil, is the workload timeline itself — e.g. a
+	// file-authored spec from LoadScenarioFile — and takes precedence over
+	// Scenario. The battery never mutates it; every run gets a deep copy.
+	ScenarioSpec *ScenarioSpec
 	// Strategy names a registered chunk-scheduling strategy applied to
 	// every run ("" = each profile's own, i.e. urgent-random). See
 	// StrategyNames.
@@ -145,7 +149,12 @@ type Scale struct {
 // returns them in the paper's order.
 func RunAll(s Scale) ([]*Result, error) {
 	var scn *ScenarioSpec
-	if s.Scenario != "" {
+	if s.ScenarioSpec != nil {
+		if err := s.ScenarioSpec.Validate(); err != nil {
+			return nil, err
+		}
+		scn = s.ScenarioSpec
+	} else if s.Scenario != "" {
 		var err error
 		scn, err = ScenarioByName(s.Scenario)
 		if err != nil {
@@ -167,6 +176,8 @@ func RunAll(s Scale) ([]*Result, error) {
 			cfg.Duration = s.Duration
 		}
 		cfg.ScalePeers(s.PeerFactor)
+		// Sharing the pointer is safe: experiment.Run clones the spec on
+		// entry, so parallel runs never touch the caller's value.
 		cfg.Scenario = scn
 		cfg.Strategy = s.Strategy
 		cfgs = append(cfgs, cfg)
@@ -216,11 +227,15 @@ type (
 
 // Scenario event kinds and arrival shapes, for building custom timelines.
 const (
-	ScenarioArrivals      = scenario.Arrivals
-	ScenarioDepartures    = scenario.Departures
-	ScenarioPartition     = scenario.Partition
-	ScenarioThrottle      = scenario.Throttle
-	ScenarioTrackerOutage = scenario.TrackerOutage
+	ScenarioArrivals        = scenario.Arrivals
+	ScenarioDepartures      = scenario.Departures
+	ScenarioPartition       = scenario.Partition
+	ScenarioThrottle        = scenario.Throttle
+	ScenarioTrackerOutage   = scenario.TrackerOutage
+	ScenarioSourceFailover  = scenario.SourceFailover
+	ScenarioRegionalChurn   = scenario.RegionalChurn
+	ScenarioCountryThrottle = scenario.CountryThrottle
+	ScenarioZap             = scenario.Zap
 
 	ShapeUniform = scenario.ShapeUniform
 	ShapeBurst   = scenario.ShapeBurst
@@ -229,6 +244,19 @@ const (
 
 // ScenarioNames lists the registered workload scenarios.
 func ScenarioNames() []string { return scenario.Names() }
+
+// LoadScenarioFile reads, decodes and validates a JSON scenario file (see
+// README "Authoring scenario files" and examples/scenarios/). The returned
+// spec plugs into Scale.ScenarioSpec, SweepSpec.ScenarioSpec or
+// Config.Scenario exactly like a registered one.
+func LoadScenarioFile(path string) (*ScenarioSpec, error) { return scenario.LoadFile(path) }
+
+// DecodeScenario parses one JSON scenario spec.
+func DecodeScenario(r io.Reader) (*ScenarioSpec, error) { return scenario.Decode(r) }
+
+// EncodeScenario writes a spec as indented JSON; every registered scenario
+// round-trips through Encode/Decode unchanged.
+func EncodeScenario(w io.Writer, s *ScenarioSpec) error { return scenario.Encode(w, s) }
 
 // StrategyNames lists the registered chunk-scheduling strategies, default
 // first.
