@@ -14,17 +14,24 @@
 //	napawine -scenario-list              # show the scenario registry
 //	napawine -strategy rarest            # swap the chunk-scheduling strategy
 //	napawine -strategy-list              # show the strategy registry
+//	napawine -study strategy-comparison  # run a registered study grid
+//	napawine -study-file s.json          # run a file-authored study grid
+//	napawine -study-list                 # show the study registry
+//	napawine -out tables.txt             # write tables to a file, not stdout
 //
 // Deterministic: the same -seed regenerates identical tables; the same
-// -seed/-seeds pair regenerates identical sweep tables — scenario or not,
-// and regardless of -workers.
+// -seed/-seeds pair regenerates identical sweep and study tables — scenario
+// or not, and regardless of -workers.
 package main
 
 import (
+	"context"
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
+	"sync"
 	"time"
 
 	"napawine"
@@ -86,6 +93,28 @@ func validateArgs(exp string, appList []string, scenarioName, scenarioFile, stra
 	return nil
 }
 
+// validateStudyArgs rejects flag combinations that contradict a -study /
+// -study-file run: a study defines its own axes, so the single-run
+// scenario/strategy/experiment selectors must not be silently ignored.
+// explicit reports which flags the user actually set on the command line.
+func validateStudyArgs(studyName, studyFile string, explicit map[string]bool) error {
+	if studyName != "" && studyFile != "" {
+		return fmt.Errorf("-study and -study-file are mutually exclusive")
+	}
+	if studyName != "" {
+		if _, err := napawine.StudyByName(studyName); err != nil {
+			return fmt.Errorf("unknown -study %q (valid: %s)",
+				studyName, strings.Join(napawine.StudyNames(), ", "))
+		}
+	}
+	for _, f := range []string{"exp", "scenario", "scenario-file", "strategy"} {
+		if explicit[f] {
+			return fmt.Errorf("-%s does not apply to a study run (the study defines its own axes)", f)
+		}
+	}
+	return nil
+}
+
 // parseApps splits and dedups the -apps flag, dropping empty entries.
 func parseApps(appsFlag string) []string {
 	seen := map[string]bool{}
@@ -125,23 +154,43 @@ func strategyList() string {
 	return b.String()
 }
 
+// studyList renders the registry for -study-list.
+func studyList() string {
+	var b strings.Builder
+	b.WriteString("registered studies:\n")
+	for _, name := range napawine.StudyNames() {
+		st, err := napawine.StudyByName(name)
+		if err != nil {
+			continue
+		}
+		fmt.Fprintf(&b, "  %-20s %s (%d runs)\n", name, st.Description, st.Runs())
+	}
+	return b.String()
+}
+
 func main() {
 	var (
 		exp       = flag.String("exp", "all", "experiment: "+strings.Join(validExps, "|"))
 		appsFlag  = flag.String("apps", "PPLive,SopCast,TVAnts", "comma-separated application list")
-		seed      = flag.Int64("seed", 1, "simulation seed (sweep: first trial seed)")
+		seed      = flag.Int64("seed", 1, "simulation seed (sweep/study: first trial seed)")
 		seeds     = flag.Int("seeds", 1, "trial seeds per app; >1 runs a replicated sweep with ±stderr tables")
 		duration  = flag.Duration("duration", 5*time.Minute, "virtual experiment duration")
 		factor    = flag.Float64("scale", 1.0, "background population scale factor")
 		workers   = flag.Int("workers", 0, "parallel experiments (0 = GOMAXPROCS)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
+		outPath   = flag.String("out", "", "write tables/CSV to this file instead of stdout")
 		scn       = flag.String("scenario", "", "workload scenario to inject (see -scenario-list)")
 		scnFile   = flag.String("scenario-file", "", "JSON scenario file to inject (see README: authoring scenario files)")
 		listScens = flag.Bool("scenario-list", false, "list registered workload scenarios and exit")
 		strat     = flag.String("strategy", "", "chunk-scheduling strategy (see -strategy-list)")
 		listStrat = flag.Bool("strategy-list", false, "list registered chunk strategies and exit")
+		studyName = flag.String("study", "", "registered study grid to run (see -study-list)")
+		studyFile = flag.String("study-file", "", "JSON study file to run (see README: running studies)")
+		listStudy = flag.Bool("study-list", false, "list registered studies and exit")
 	)
 	flag.Parse()
+	explicit := map[string]bool{}
+	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
 
 	if *listScens {
 		fmt.Print(scenarioList())
@@ -149,6 +198,53 @@ func main() {
 	}
 	if *listStrat {
 		fmt.Print(strategyList())
+		return
+	}
+	if *listStudy {
+		fmt.Print(studyList())
+		return
+	}
+
+	// openOut resolves -out. It runs only after every usage validation and
+	// file load has passed, so a usage error can never truncate an
+	// artifact from a previous run — and before any simulation starts, so
+	// a bad destination is still an up-front error, never a post-run
+	// surprise. The returned close flushes on the success path; fatal
+	// exits skip it, which is fine — those paths wrote nothing worth
+	// keeping.
+	openOut := func() (io.Writer, func()) {
+		if *outPath == "" {
+			return os.Stdout, func() {}
+		}
+		f, err := os.Create(*outPath)
+		if err != nil {
+			fatal(err)
+		}
+		return f, func() {
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
+	}
+
+	if *studyName != "" || *studyFile != "" {
+		if err := validateStudyArgs(*studyName, *studyFile, explicit); err != nil {
+			fmt.Fprintln(os.Stderr, "napawine:", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		st := loadStudy(*studyName, *studyFile)
+		applyStudyOverrides(st, *seed, *seeds, *duration, *factor, parseApps(*appsFlag), explicit)
+		// Re-validate after the overrides and before -out opens: a bad
+		// -apps override (or any axis error) must be a usage error that
+		// leaves a previous run's artifact untouched.
+		if err := st.Validate(); err != nil {
+			fmt.Fprintln(os.Stderr, "napawine:", err)
+			os.Exit(2)
+		}
+		out, closeOut := openOut()
+		runStudy(st, *workers, *csv, out)
+		closeOut()
 		return
 	}
 
@@ -170,14 +266,17 @@ func main() {
 			os.Exit(2)
 		}
 	}
+	out, closeOut := openOut()
 
 	if *exp == "table1" {
-		renderTableI(*csv)
+		renderTableI(*csv, out)
+		closeOut()
 		return
 	}
 
 	if *seeds > 1 {
-		runSweep(appList, *seed, *seeds, *duration, *factor, *workers, *exp, *csv, *scn, fileSpec, *strat)
+		runSweep(appList, *seed, *seeds, *duration, *factor, *workers, *exp, *csv, *scn, fileSpec, *strat, out)
+		closeOut()
 		return
 	}
 
@@ -207,18 +306,7 @@ func main() {
 	fmt.Fprintf(os.Stderr, "done in %v (%d simulation events)\n\n",
 		time.Since(start).Round(time.Millisecond), events)
 
-	render := func(t *napawine.Table) {
-		var err error
-		if *csv {
-			err = t.RenderCSV(os.Stdout)
-		} else {
-			err = t.Render(os.Stdout)
-			fmt.Println()
-		}
-		if err != nil {
-			fatal(err)
-		}
-	}
+	render := renderer(*csv, out)
 
 	show := func(name string) bool { return *exp == name || *exp == "all" }
 	if show("table2") {
@@ -230,22 +318,22 @@ func main() {
 	if show("table4") {
 		render(napawine.TableIV(results))
 		for _, r := range results {
-			fmt.Printf("%s: measured hop median %.0f, mean continuity %.3f\n",
+			fmt.Fprintf(out, "%s: measured hop median %.0f, mean continuity %.3f\n",
 				r.App, r.HopMedianMeasured, r.MeanContinuity)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	if show("fig1") {
-		if err := napawine.RenderFigure1(os.Stdout, results); err != nil {
+		if err := napawine.RenderFigure1(out, results); err != nil {
 			fatal(err)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	if show("fig2") {
-		if err := napawine.RenderFigure2(os.Stdout, results); err != nil {
+		if err := napawine.RenderFigure2(out, results); err != nil {
 			fatal(err)
 		}
-		fmt.Println()
+		fmt.Fprintln(out)
 	}
 	if show("hopsweep") {
 		for _, r := range results {
@@ -261,12 +349,111 @@ func main() {
 			render(series)
 		}
 	}
+	closeOut()
+}
+
+// renderer builds the shared table writer: aligned ASCII or CSV, onto out.
+func renderer(csv bool, out io.Writer) func(*napawine.Table) {
+	return func(t *napawine.Table) {
+		var err error
+		if csv {
+			err = t.RenderCSV(out)
+		} else {
+			err = t.Render(out)
+			fmt.Fprintln(out)
+		}
+		if err != nil {
+			fatal(err)
+		}
+	}
+}
+
+// progress prints one line per finished study cell on stderr, so a long
+// grid shows movement while tables wait for the end.
+type progress struct {
+	mu    sync.Mutex
+	done  int
+	start time.Time
+}
+
+func (p *progress) OnRunStart(napawine.StudyRunInfo) {}
+
+func (p *progress) OnRunDone(info napawine.StudyRunInfo, sum napawine.RunSummary, err error) {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	p.done++
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "[%d/%d] %s FAILED: %v\n", p.done, info.Total, info.Label(), err)
+		return
+	}
+	fmt.Fprintf(os.Stderr, "[%d/%d] %s done (continuity %.3f, %v elapsed)\n",
+		p.done, info.Total, info.Label(), sum.MeanContinuity,
+		time.Since(p.start).Round(time.Second))
+}
+
+func (p *progress) OnSample(napawine.StudyRunInfo, napawine.SeriesSample) {}
+
+// loadStudy resolves -study / -study-file; a bad name or file is a usage
+// error before anything else happens.
+func loadStudy(name, file string) *napawine.Study {
+	var st *napawine.Study
+	var err error
+	if file != "" {
+		st, err = napawine.LoadStudyFile(file)
+	} else {
+		st, err = napawine.StudyByName(name)
+	}
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "napawine:", err)
+		os.Exit(2)
+	}
+	return st
+}
+
+// applyStudyOverrides folds explicitly-set command-line knobs over the
+// study's own, so one registered grid scales from a CI smoke run to the
+// full campaign.
+func applyStudyOverrides(st *napawine.Study, seed int64, trials int, duration time.Duration, factor float64, appList []string, explicit map[string]bool) {
+	if explicit["duration"] {
+		st.Duration = napawine.StudyDuration(duration)
+	}
+	if explicit["seeds"] {
+		st.Seeds = nil
+		st.Trials = trials
+	}
+	if explicit["seed"] {
+		st.Seeds = nil
+		st.BaseSeed = seed
+	}
+	if explicit["scale"] {
+		st.PeerFactor = factor
+	}
+	if explicit["apps"] {
+		st.Apps = appList
+	}
+}
+
+// runStudy executes a study grid and renders its comparison table.
+func runStudy(st *napawine.Study, workers int, csv bool, out io.Writer) {
+	fmt.Fprintf(os.Stderr, "study %s: %d runs (%d apps × %d strategies × %d scenarios × %d variants × %d seeds)\n",
+		st.Name, st.Runs(), len(st.AppList()), len(st.StrategyList()),
+		len(st.ScenarioList()), len(st.VariantList()), len(st.SeedList()))
+	start := time.Now()
+	res, err := napawine.RunStudy(context.Background(), st,
+		napawine.WithWorkers(workers), napawine.WithObserver(&progress{start: start}))
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	render := renderer(csv, out)
+	render(res.ComparisonTable())
 }
 
 // runSweep executes the replicated multi-seed battery and renders the
 // aggregated (mean ± stderr) tables. Figures and the hop sweep are
 // single-run reductions and are not replicated here.
-func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, workers int, exp string, csv bool, scn string, fileSpec *napawine.ScenarioSpec, strat string) {
+func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, workers int, exp string, csv bool, scn string, fileSpec *napawine.ScenarioSpec, strat string, out io.Writer) {
 	if exp == "fig1" || exp == "fig2" || exp == "hopsweep" {
 		fatal(fmt.Errorf("-exp %s is a single-run reduction; drop -seeds or use -seeds 1", exp))
 	}
@@ -299,18 +486,7 @@ func runSweep(appList []string, seed int64, trials int, duration time.Duration, 
 	fmt.Fprintf(os.Stderr, "done in %v (%d runs)\n\n",
 		time.Since(start).Round(time.Millisecond), len(appList)*trials)
 
-	render := func(t *napawine.Table) {
-		var err error
-		if csv {
-			err = t.RenderCSV(os.Stdout)
-		} else {
-			err = t.Render(os.Stdout)
-			fmt.Println()
-		}
-		if err != nil {
-			fatal(err)
-		}
-	}
+	render := renderer(csv, out)
 	show := func(name string) bool { return exp == name || exp == "all" }
 	if show("table2") {
 		render(res.TableII())
@@ -329,7 +505,7 @@ func runSweep(appList []string, seed int64, trials int, duration time.Duration, 
 	}
 }
 
-func renderTableI(csv bool) {
+func renderTableI(csv bool, out io.Writer) {
 	t := report.NewTable("TABLE I — NAPA-WINE testbed",
 		"Site", "CC", "AS", "High-bw hosts", "Home probes", "NAT", "FW")
 	for _, s := range world.TableI() {
@@ -356,9 +532,9 @@ func renderTableI(csv bool) {
 	}
 	var err error
 	if csv {
-		err = t.RenderCSV(os.Stdout)
+		err = t.RenderCSV(out)
 	} else {
-		err = t.Render(os.Stdout)
+		err = t.Render(out)
 	}
 	if err != nil {
 		fatal(err)

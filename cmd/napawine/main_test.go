@@ -129,3 +129,44 @@ func TestStrategyListNamesEveryStrategy(t *testing.T) {
 		}
 	}
 }
+
+func TestStudyListNamesEveryStudy(t *testing.T) {
+	out := studyList()
+	for _, name := range []string{"strategy-comparison", "blind-ablation"} {
+		if !strings.Contains(out, name) {
+			t.Errorf("-study-list output missing %q:\n%s", name, out)
+		}
+	}
+}
+
+func TestValidateStudyArgs(t *testing.T) {
+	none := map[string]bool{}
+	if err := validateStudyArgs("strategy-comparison", "", none); err != nil {
+		t.Errorf("registered study rejected: %v", err)
+	}
+	if err := validateStudyArgs("", "s.json", none); err != nil {
+		t.Errorf("study file rejected: %v", err)
+	}
+	if err := validateStudyArgs("strategy-comparison", "s.json", none); err == nil {
+		t.Error("-study together with -study-file accepted")
+	}
+	err := validateStudyArgs("worldcup", "", none)
+	if err == nil {
+		t.Fatal("unknown study accepted")
+	}
+	for _, want := range []string{"worldcup", "strategy-comparison"} {
+		if !strings.Contains(err.Error(), want) {
+			t.Errorf("usage error %q missing %q", err, want)
+		}
+	}
+	// Overridable knobs are fine; axis-defining flags are not.
+	if err := validateStudyArgs("strategy-comparison", "",
+		map[string]bool{"study": true, "duration": true, "seeds": true, "scale": true}); err != nil {
+		t.Errorf("override flags rejected: %v", err)
+	}
+	for _, f := range []string{"exp", "scenario", "scenario-file", "strategy"} {
+		if err := validateStudyArgs("strategy-comparison", "", map[string]bool{f: true}); err == nil {
+			t.Errorf("-%s with -study accepted (it would be silently ignored)", f)
+		}
+	}
+}

@@ -6,6 +6,7 @@
 package experiment
 
 import (
+	"context"
 	"fmt"
 	"net/netip"
 	"os"
@@ -51,6 +52,13 @@ type Config struct {
 	// Its ExtraPeerFactor sizes World.ExtraPeers unless the caller already
 	// set that explicitly.
 	Scenario *scenario.Spec
+
+	// OnSample, when non-nil, streams each time-series bucket to the
+	// caller the moment the sampler records it — the live-progress hook
+	// the study Observer rides on. Only scenario runs sample buckets, so
+	// the callback never fires without a Scenario. It runs on the
+	// simulation goroutine; implementations must not block.
+	OnSample func(SeriesSample)
 
 	World world.Spec
 
@@ -217,6 +225,22 @@ type Result struct {
 	// swarm actually sustained the stream.
 	MeanContinuity float64
 
+	// SourceKbps is the stream source's video upload rate over the run —
+	// the "source load" a self-sustaining swarm keeps near the stream
+	// rate and a starved one multiplies. SourceSharePct is the same load
+	// as a share of all video bytes moved (0 when no video moved;
+	// VideoBytes carries the denominator).
+	SourceKbps     float64
+	SourceSharePct float64
+	VideoBytes     int64
+
+	// MeanDiffusionDelay is the mean virtual time from a chunk's calendar
+	// birth to its first delivery at a peer, across DiffusionChunks
+	// deliveries — the chunk-scheduling figure of merit. Zero when
+	// nothing was delivered.
+	MeanDiffusionDelay time.Duration
+	DiffusionChunks    int64
+
 	// Scenario names the workload timeline the run executed ("" = none).
 	Scenario string
 	// Series is the per-bucket time series a scenario run samples; empty
@@ -239,7 +263,24 @@ func (r *Result) ProbeOf(addr netip.Addr) (world.Probe, bool) {
 }
 
 // Run executes one experiment.
-func Run(cfg Config) (*Result, error) {
+func Run(cfg Config) (*Result, error) { return RunCtx(context.Background(), cfg) }
+
+// cancelPoll is how often (in virtual time) a cancellable run checks its
+// context. Virtual seconds pass in wall-clock milliseconds, so a cancelled
+// context stops the engine promptly without the engine ever knowing about
+// contexts.
+const cancelPoll = time.Second
+
+// RunCtx executes one experiment under a context. Cancellation is polled on
+// the engine's own clock every cancelPoll of virtual time: when ctx is
+// done, the engine halts mid-run and RunCtx returns ctx.Err() with no
+// Result. A context that can never be cancelled (ctx.Done() == nil, e.g.
+// context.Background()) installs no poll events; cancellable runs subtract
+// their poll firings from the reported event count — either way
+// Result.Events (a rendered sweep/study metric) stays identical to a
+// context-free Run, preserving the byte-identical-tables contract for
+// callers that merely wire up Ctrl-C.
+func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	cfg.fillDefaults()
 	prof := cfg.Profile
 	if prof == nil {
@@ -375,13 +416,26 @@ func Run(cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %w", err)
 		}
-		series = recordSeries(eng, net, cfg.Scenario.BucketCount(), cfg.Duration)
+		series = recordSeries(eng, net, cfg.Scenario.BucketCount(), cfg.Duration, cfg.OnSample)
 	}
 
 	// Periodic spool flush bounds memory for hour-scale runs.
 	eng.Every(cfg.FlushEvery, cfg.FlushEvery, 0, net.FlushCapturesBefore)
 
+	var polls uint64
+	if ctx.Done() != nil {
+		eng.Every(cancelPoll, cancelPoll, 0, func() {
+			polls++
+			if ctx.Err() != nil {
+				eng.Stop()
+			}
+		})
+	}
+
 	eng.Run(cfg.Duration)
+	if err := ctx.Err(); err != nil {
+		return nil, err
+	}
 	net.FlushCaptures()
 	for i, sink := range traceSinks {
 		if sink.Err != nil {
@@ -397,12 +451,14 @@ func Run(cfg Config) (*Result, error) {
 
 	// Reduce.
 	res := &Result{
-		App:         cfg.App,
-		Cfg:         cfg,
-		World:       w,
-		Duration:    cfg.Duration,
-		Ledger:      net.Ledger,
-		Events:      eng.Processed(),
+		App:      cfg.App,
+		Cfg:      cfg,
+		World:    w,
+		Duration: cfg.Duration,
+		Ledger:   net.Ledger,
+		// Poll firings are harness bookkeeping, not swarm activity; see
+		// the RunCtx doc for why they are excluded from the metric.
+		Events:      eng.Processed() - polls,
 		probeByAddr: make(map[netip.Addr]world.Probe, len(w.Probes)),
 	}
 	if cfg.Scenario != nil {
@@ -442,5 +498,19 @@ func Run(cfg Config) (*Result, error) {
 		}
 	}
 	res.MeanContinuity = continuity.Mean()
+
+	// SourceVideoTx is attributed at send time, so under a source-failover
+	// scenario the promoted backup's injection counts as source load while
+	// its earlier life as an ordinary peer does not.
+	srcTx := net.Ledger.SourceVideoTx
+	res.SourceKbps = float64(srcTx) * 8 / 1000 / secs
+	res.VideoBytes = net.Ledger.VideoTotal
+	if net.Ledger.VideoTotal > 0 {
+		res.SourceSharePct = 100 * float64(srcTx) / float64(net.Ledger.VideoTotal)
+	}
+	res.DiffusionChunks = net.Ledger.DiffusionChunks
+	if net.Ledger.DiffusionChunks > 0 {
+		res.MeanDiffusionDelay = net.Ledger.DiffusionDelaySum / time.Duration(net.Ledger.DiffusionChunks)
+	}
 	return res, nil
 }

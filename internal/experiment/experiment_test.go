@@ -6,6 +6,7 @@ import (
 	"time"
 
 	"napawine/internal/core"
+	"napawine/internal/scenario"
 )
 
 // smallConfig shrinks a default config to test scale.
@@ -253,5 +254,60 @@ func TestDefaultsScaleWithApp(t *testing.T) {
 	pp, sc, tv := Default("PPLive"), Default("SopCast"), Default("TVAnts")
 	if !(pp.World.Peers > sc.World.Peers && sc.World.Peers > tv.World.Peers) {
 		t.Error("world sizes must follow PPLive > SopCast > TVAnts")
+	}
+}
+
+// TestSourceLoadMetrics: the study comparison metrics must be populated on
+// every run — the source uploads, its share is measurable, and chunks
+// record diffusion delays.
+func TestSourceLoadMetrics(t *testing.T) {
+	r := runSmall(t, "SopCast")
+	if r.SourceKbps <= 0 {
+		t.Errorf("SourceKbps = %v, want > 0", r.SourceKbps)
+	}
+	if r.VideoBytes <= 0 || r.SourceSharePct <= 0 || r.SourceSharePct > 100 {
+		t.Errorf("source share = %v%% of %d bytes", r.SourceSharePct, r.VideoBytes)
+	}
+	if r.DiffusionChunks <= 0 || r.MeanDiffusionDelay <= 0 {
+		t.Errorf("diffusion: %d chunks, mean %v", r.DiffusionChunks, r.MeanDiffusionDelay)
+	}
+	s := Summarize(r)
+	if s.SourceKbps != r.SourceKbps || s.DiffusionDelayS != r.MeanDiffusionDelay.Seconds() {
+		t.Error("summary diverges from result on study metrics")
+	}
+}
+
+// TestSourceLoadSurvivesFailover is the attribution regression guard:
+// source load is accounted at send time against whichever node is the
+// origin, so after a source-failover handoff the promoted backup's
+// injection still counts. Under the old VideoTx[original-source] readout
+// the post-handoff share collapsed toward the pre-failover fraction only.
+func TestSourceLoadSurvivesFailover(t *testing.T) {
+	scn, err := scenario.ByName("failover")
+	if err != nil {
+		t.Fatal(err)
+	}
+	cfg := smallConfig("TVAnts", 11)
+	cfg.World.Peers = 120
+	cfg.Scenario = scn
+	fo, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	base := smallConfig("TVAnts", 11)
+	base.World.Peers = 120
+	steady, err := Run(base)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if fo.SourceKbps <= 0 {
+		t.Fatalf("failover run reports no source load at all")
+	}
+	// The failover blacks the feed out for 5%% of the run, so some drop is
+	// expected — but with send-time attribution the share stays the same
+	// order of magnitude as the steady run, not the pre-40%% stub.
+	if fo.SourceSharePct < steady.SourceSharePct*0.5 {
+		t.Errorf("failover source share %.1f%% collapsed vs steady %.1f%%: post-handoff injection not attributed",
+			fo.SourceSharePct, steady.SourceSharePct)
 	}
 }

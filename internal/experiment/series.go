@@ -42,12 +42,15 @@ type seriesRecorder struct {
 	prevIntra  int64
 	prevTotal  int64
 	bucketSecs float64
+	// onSample, when non-nil, streams each bucket to the caller as it is
+	// recorded (the Config.OnSample hook).
+	onSample func(SeriesSample)
 }
 
 // recordSeries installs a periodic sampler for `buckets` buckets across the
 // horizon and returns the recorder whose samples fill in as the run
 // progresses.
-func recordSeries(eng *sim.Engine, net *overlay.Network, buckets int, horizon time.Duration) *seriesRecorder {
+func recordSeries(eng *sim.Engine, net *overlay.Network, buckets int, horizon time.Duration, onSample func(SeriesSample)) *seriesRecorder {
 	every := horizon / time.Duration(buckets)
 	if every <= 0 {
 		every = horizon
@@ -56,6 +59,7 @@ func recordSeries(eng *sim.Engine, net *overlay.Network, buckets int, horizon ti
 	r := &seriesRecorder{
 		samples:    make([]SeriesSample, 0, buckets),
 		bucketSecs: every.Seconds(),
+		onSample:   onSample,
 	}
 	eng.Every(every, every, 0, func() {
 		if len(r.samples) >= buckets {
@@ -92,6 +96,9 @@ func (r *seriesRecorder) sample(eng *sim.Engine, net *overlay.Network) {
 		s.IntraASValid = true
 	}
 	r.samples = append(r.samples, s)
+	if r.onSample != nil {
+		r.onSample(s)
+	}
 }
 
 // TrackerMark renders a series table's tracker column: the outage marker is

@@ -41,6 +41,16 @@ type Summary struct {
 	MeanContinuity float64
 	Events         uint64
 	Unlocated      int
+
+	// Study comparison metrics: the source's video upload rate and its
+	// share of all video bytes moved (VideoBytes > 0 makes the share
+	// measurable), and the mean chunk diffusion delay in seconds across
+	// DiffusionChunks first-time deliveries (> 0 makes it measurable).
+	SourceKbps      float64
+	SourceSharePct  float64
+	VideoBytes      int64
+	DiffusionDelayS float64
+	DiffusionChunks int64
 }
 
 // SummaryCell flattens one Table IV (property, app) cell group into the
@@ -59,14 +69,19 @@ var TableIVColumns = [8]string{"B'D%", "P'D%", "BD%", "PD%", "B'U%", "P'U%", "BU
 // Result a sweep retains per run.
 func Summarize(r *Result) Summary {
 	s := Summary{
-		App:            r.App,
-		Seed:           r.Cfg.Seed,
-		Scenario:       r.Scenario,
-		Series:         r.Series,
-		HopMedian:      r.HopMedianMeasured,
-		MeanContinuity: r.MeanContinuity,
-		Events:         r.Events,
-		Unlocated:      r.Unlocated,
+		App:             r.App,
+		Seed:            r.Cfg.Seed,
+		Scenario:        r.Scenario,
+		Series:          r.Series,
+		HopMedian:       r.HopMedianMeasured,
+		MeanContinuity:  r.MeanContinuity,
+		Events:          r.Events,
+		Unlocated:       r.Unlocated,
+		SourceKbps:      r.SourceKbps,
+		SourceSharePct:  r.SourceSharePct,
+		VideoBytes:      r.VideoBytes,
+		DiffusionDelayS: r.MeanDiffusionDelay.Seconds(),
+		DiffusionChunks: r.DiffusionChunks,
 	}
 
 	rx, tx, all, crx, ctx := r.probeAccums()

@@ -194,6 +194,21 @@ type Ledger struct {
 	// to report per-bucket locality without walking VideoByPair.
 	VideoTotal   int64
 	VideoIntraAS int64
+
+	// DiffusionDelaySum accumulates, over every first-time chunk delivery
+	// to a peer, the virtual time between the chunk's calendar birth and
+	// its arrival; DiffusionChunks counts those deliveries. Their ratio is
+	// the swarm's mean diffusion delay — the Mathieu–Perino figure of merit
+	// that separates the chunk-scheduling strategies.
+	DiffusionDelaySum time.Duration
+	DiffusionChunks   int64
+
+	// SourceVideoTx counts video bytes uploaded by whichever node was the
+	// stream origin at send time — accumulated at transfer time, so a
+	// source-failover handoff attributes each byte to the node that was
+	// actually injecting when it moved (VideoTx[id] cannot distinguish a
+	// backup's pre-promotion peer traffic from its injection duty).
+	SourceVideoTx int64
 }
 
 func newLedger() *Ledger {

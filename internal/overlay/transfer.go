@@ -116,6 +116,9 @@ func (nd *Node) serveChunk(requester *Node, id chunkstream.ChunkID) {
 
 	net.Ledger.video(nd.ID, requester.ID, int64(chunkSize), nd.Host.AS == requester.Host.AS)
 	net.Ledger.ChunksServed[nd.ID]++
+	if nd.isSource {
+		net.Ledger.SourceVideoTx += int64(chunkSize)
+	}
 
 	last := arrives[len(arrives)-1]
 	// The receiver estimates the partner's rate from goodput *during*
@@ -157,7 +160,14 @@ func (nd *Node) onChunkDelivered(from PeerID, id chunkstream.ChunkID, size units
 	if ok && req.from == from {
 		delete(nd.inflight, id)
 	}
-	nd.buf.Set(id)
+	if fresh := !nd.buf.Has(id); nd.buf.Set(id) && fresh {
+		// First receipt of an in-window chunk: account its diffusion delay
+		// (birth at the source calendar to arrival here) on the ledger.
+		if now, born := nd.net.Eng.Now(), nd.net.Cfg.Calendar.BornAt(id); now >= born {
+			nd.net.Ledger.DiffusionDelaySum += now.Sub(born)
+			nd.net.Ledger.DiffusionChunks++
+		}
+	}
 	if p, ok := nd.partners[from]; ok {
 		p.failures = 0
 		var sample units.BitRate

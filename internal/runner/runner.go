@@ -6,6 +6,7 @@
 package runner
 
 import (
+	"context"
 	"fmt"
 	"runtime"
 	"sync"
@@ -17,6 +18,18 @@ import (
 // inside f is captured and converted to an error rather than tearing down
 // the whole sweep.
 func Parallel[I any, O any](inputs []I, workers int, f func(I) (O, error)) ([]O, error) {
+	return ParallelCtx(context.Background(), inputs, workers,
+		func(_ context.Context, in I) (O, error) { return f(in) })
+}
+
+// ParallelCtx is Parallel under a context: once ctx is done, workers stop
+// picking up new tasks (unstarted slots hold ctx.Err() and the zero value)
+// and ctx.Err() is returned in preference to any task error, alongside the
+// partial results. In-flight tasks receive ctx and are expected to wind
+// down on their own (experiment.RunCtx polls it); every worker goroutine is
+// joined before ParallelCtx returns, cancelled or not, so callers never
+// leak goroutines.
+func ParallelCtx[I any, O any](ctx context.Context, inputs []I, workers int, f func(context.Context, I) (O, error)) ([]O, error) {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
@@ -26,7 +39,7 @@ func Parallel[I any, O any](inputs []I, workers int, f func(I) (O, error)) ([]O,
 	out := make([]O, len(inputs))
 	errs := make([]error, len(inputs))
 	if len(inputs) == 0 {
-		return out, nil
+		return out, ctx.Err()
 	}
 
 	var wg sync.WaitGroup
@@ -36,7 +49,11 @@ func Parallel[I any, O any](inputs []I, workers int, f func(I) (O, error)) ([]O,
 		go func() {
 			defer wg.Done()
 			for i := range next {
-				out[i], errs[i] = runOne(inputs[i], f)
+				if err := ctx.Err(); err != nil {
+					errs[i] = err
+					continue
+				}
+				out[i], errs[i] = runOne(ctx, inputs[i], f)
 			}
 		}()
 	}
@@ -46,6 +63,9 @@ func Parallel[I any, O any](inputs []I, workers int, f func(I) (O, error)) ([]O,
 	close(next)
 	wg.Wait()
 
+	if err := ctx.Err(); err != nil {
+		return out, err
+	}
 	for i, err := range errs {
 		if err != nil {
 			return out, fmt.Errorf("runner: input %d: %w", i, err)
@@ -54,18 +74,23 @@ func Parallel[I any, O any](inputs []I, workers int, f func(I) (O, error)) ([]O,
 	return out, nil
 }
 
-func runOne[I any, O any](in I, f func(I) (O, error)) (out O, err error) {
+func runOne[I any, O any](ctx context.Context, in I, f func(context.Context, I) (O, error)) (out O, err error) {
 	defer func() {
 		if r := recover(); r != nil {
 			err = fmt.Errorf("panic: %v", r)
 		}
 	}()
-	return f(in)
+	return f(ctx, in)
 }
 
 // Seeds builds n sequential seeds starting at base — the conventional
-// input for multi-trial sweeps.
+// input for multi-trial sweeps. A non-positive n yields an empty list
+// rather than a panic, so a computed trial count of -1 degrades into "no
+// trials", a loud empty table, not a crash.
 func Seeds(base int64, n int) []int64 {
+	if n <= 0 {
+		return nil
+	}
 	out := make([]int64, n)
 	for i := range out {
 		out[i] = base + int64(i)

@@ -1,6 +1,7 @@
 package runner
 
 import (
+	"context"
 	"errors"
 	"strings"
 	"sync/atomic"
@@ -133,6 +134,84 @@ func TestSeeds(t *testing.T) {
 	}
 	if len(Seeds(1, 0)) != 0 {
 		t.Error("zero seeds should be empty")
+	}
+}
+
+// TestSeedsNegativeCount is the regression guard for the make([]int64, n)
+// panic: a computed trial count that goes negative must degrade to an empty
+// seed list, not crash the battery.
+func TestSeedsNegativeCount(t *testing.T) {
+	if s := Seeds(7, -1); len(s) != 0 {
+		t.Errorf("Seeds(7, -1) = %v, want empty", s)
+	}
+	if s := Seeds(7, -100); len(s) != 0 {
+		t.Errorf("Seeds(7, -100) = %v, want empty", s)
+	}
+}
+
+// TestParallelCtxCancelSkipsPendingTasks: once the context is cancelled,
+// workers must stop picking up new inputs, every worker goroutine must be
+// joined, and the call must return ctx.Err() with the completed slots
+// intact.
+func TestParallelCtxCancelSkipsPendingTasks(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	in := make([]int, 32)
+	for i := range in {
+		in[i] = i
+	}
+	var started int64
+	out, err := ParallelCtx(ctx, in, 2, func(ctx context.Context, x int) (int, error) {
+		atomic.AddInt64(&started, 1)
+		if x == 1 {
+			cancel()
+		}
+		// Let the cancellation propagate before the next pickup.
+		time.Sleep(2 * time.Millisecond)
+		return x + 10, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if n := atomic.LoadInt64(&started); n == 32 {
+		t.Error("cancellation did not stop task pickup: every input ran")
+	}
+	// Slot 0 ran before the cancel (workers=2 started inputs 0 and 1).
+	if out[0] != 10 {
+		t.Errorf("completed slot lost: out[0] = %d, want 10", out[0])
+	}
+}
+
+// TestParallelCtxBackgroundMatchesParallel: under a never-cancelled context
+// the ctx path must behave exactly like Parallel.
+func TestParallelCtxBackgroundMatchesParallel(t *testing.T) {
+	in := []int{1, 2, 3, 4, 5}
+	out, err := ParallelCtx(context.Background(), in, 3,
+		func(_ context.Context, x int) (int, error) { return x * 2, nil })
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i, v := range out {
+		if v != in[i]*2 {
+			t.Errorf("out[%d] = %d, want %d", i, v, in[i]*2)
+		}
+	}
+}
+
+// TestParallelCtxPreCancelled: a context cancelled before the call runs
+// nothing and reports ctx.Err().
+func TestParallelCtxPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	var ran int64
+	_, err := ParallelCtx(ctx, []int{1, 2, 3}, 2, func(_ context.Context, x int) (int, error) {
+		atomic.AddInt64(&ran, 1)
+		return x, nil
+	})
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if atomic.LoadInt64(&ran) != 0 {
+		t.Error("pre-cancelled context still ran tasks")
 	}
 }
 

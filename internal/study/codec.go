@@ -1,0 +1,138 @@
+package study
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+
+	"napawine/internal/scenario"
+)
+
+// This file is the study file codec, the same contract the scenario codec
+// gives workload timelines: a strict JSON schema over Study in which every
+// axis value travels by name, unknown fields are loud errors, and every
+// registered study round-trips through Encode/Decode unchanged. Durations
+// travel in time.Duration notation ("5m"), never raw nanoseconds; a
+// scenario-axis entry is either a registered name or an object carrying an
+// inline timeline in the scenario file schema.
+//
+// Example:
+//
+//	{
+//	  "name": "strategy-comparison",
+//	  "apps": ["PPLive", "SopCast", "TVAnts"],
+//	  "strategies": ["urgent-random", "latest-useful", "rarest", "deadline"],
+//	  "trials": 3,
+//	  "duration": "2m"
+//	}
+
+// scenarioJSON is the object form of a scenario-axis entry.
+type scenarioJSON struct {
+	Name string         `json:"name,omitempty"`
+	Spec *scenario.Spec `json:"spec,omitempty"`
+}
+
+// MarshalJSON encodes a name-only cell as a bare string and an inline-spec
+// cell as an object carrying only the spec (the inline spec's own name is
+// the cell's identity; a separate Name would be dead weight the decoder
+// rejects as ambiguous), so the common case stays one readable token.
+func (s Scenario) MarshalJSON() ([]byte, error) {
+	if s.Spec == nil {
+		return json.Marshal(s.Name)
+	}
+	return json.Marshal(scenarioJSON{Spec: s.Spec})
+}
+
+// UnmarshalJSON accepts both forms, strictly: a bare registered name, or an
+// object carrying an inline spec and nothing else. Inline specs inherit the
+// scenario codec's strictness (named kinds, unknown fields rejected). An
+// object naming a registered scenario *and* carrying a spec is ambiguous —
+// the run would silently follow the spec while the file appears to select
+// the name — and is rejected.
+func (s *Scenario) UnmarshalJSON(b []byte) error {
+	trimmed := bytes.TrimSpace(b)
+	if len(trimmed) > 0 && trimmed[0] == '"' {
+		var name string
+		if err := json.Unmarshal(b, &name); err != nil {
+			return fmt.Errorf("study: bad scenario entry %s", b)
+		}
+		*s = Scenario{Name: name}
+		return nil
+	}
+	dec := json.NewDecoder(bytes.NewReader(b))
+	dec.DisallowUnknownFields()
+	var obj scenarioJSON
+	if err := dec.Decode(&obj); err != nil {
+		return fmt.Errorf("study: bad scenario entry: %w", err)
+	}
+	if obj.Name == "" && obj.Spec == nil {
+		return fmt.Errorf("study: scenario entry without a name or spec")
+	}
+	if obj.Name != "" && obj.Spec != nil {
+		return fmt.Errorf("study: scenario entry %q names a registered scenario and carries an inline spec; use one or the other", obj.Name)
+	}
+	*s = Scenario{Name: obj.Name, Spec: obj.Spec}
+	return nil
+}
+
+// Encode writes the study as indented JSON. A study carrying a programmatic
+// variant mutation cannot be represented in a file and is rejected loudly —
+// silently dropping the mutation would encode a different study than the
+// one being run.
+func Encode(w io.Writer, st *Study) error {
+	if st == nil {
+		return fmt.Errorf("study: encode nil study")
+	}
+	for _, v := range st.Variants {
+		if v.Mutate != nil {
+			return fmt.Errorf("study: encode %s: variant %q carries a programmatic Mutate and cannot be written to a file",
+				st.Name, v.Name)
+		}
+	}
+	b, err := json.MarshalIndent(st, "", "  ")
+	if err != nil {
+		return fmt.Errorf("study: encode %s: %w", st.Name, err)
+	}
+	b = append(b, '\n')
+	if _, err := w.Write(b); err != nil {
+		return fmt.Errorf("study: encode %s: %w", st.Name, err)
+	}
+	return nil
+}
+
+// Decode parses one JSON study and validates it. Unknown fields, unknown
+// axis values and malformed durations are all errors — a file study must
+// fail loudly at load time, never silently run a different grid.
+func Decode(r io.Reader) (*Study, error) {
+	dec := json.NewDecoder(r)
+	dec.DisallowUnknownFields()
+	var st Study
+	if err := dec.Decode(&st); err != nil {
+		return nil, fmt.Errorf("study: decode: %w", err)
+	}
+	if err := dec.Decode(new(json.RawMessage)); err != io.EOF {
+		return nil, fmt.Errorf("study: decode: trailing data after study object")
+	}
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	return &st, nil
+}
+
+// DecodeBytes is Decode over an in-memory study.
+func DecodeBytes(b []byte) (*Study, error) { return Decode(bytes.NewReader(b)) }
+
+// LoadFile reads and decodes one study file.
+func LoadFile(path string) (*Study, error) {
+	b, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("study: %w", err)
+	}
+	st, err := DecodeBytes(b)
+	if err != nil {
+		return nil, fmt.Errorf("%s: %w", path, err)
+	}
+	return st, nil
+}

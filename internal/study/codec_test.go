@@ -1,0 +1,160 @@
+package study
+
+import (
+	"reflect"
+	"strings"
+	"testing"
+
+	"napawine/internal/overlay"
+	"napawine/internal/scenario"
+)
+
+// TestRegisteredStudiesRoundTrip is the codec's headline contract: every
+// registered study must survive Encode → Decode → Encode bit-for-bit, so a
+// file-authored copy of a registered study is the same study.
+func TestRegisteredStudiesRoundTrip(t *testing.T) {
+	for _, name := range Names() {
+		st, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		var first strings.Builder
+		if err := Encode(&first, st); err != nil {
+			t.Fatalf("%s: encode: %v", name, err)
+		}
+		decoded, err := DecodeBytes([]byte(first.String()))
+		if err != nil {
+			t.Fatalf("%s: decode: %v", name, err)
+		}
+		if !reflect.DeepEqual(st, decoded) {
+			t.Errorf("%s: decoded study differs:\n  reg  %+v\n  file %+v", name, st, decoded)
+		}
+		var second strings.Builder
+		if err := Encode(&second, decoded); err != nil {
+			t.Fatalf("%s: re-encode: %v", name, err)
+		}
+		if first.String() != second.String() {
+			t.Errorf("%s: encode not stable:\n--- first ---\n%s\n--- second ---\n%s",
+				name, first.String(), second.String())
+		}
+	}
+}
+
+func TestDecodeRejectsUnknownField(t *testing.T) {
+	_, err := DecodeBytes([]byte(`{"name": "x", "sedes": [1, 2]}`))
+	if err == nil || !strings.Contains(err.Error(), "sedes") {
+		t.Errorf("unknown field accepted: %v", err)
+	}
+}
+
+func TestDecodeRejectsRawDuration(t *testing.T) {
+	_, err := DecodeBytes([]byte(`{"name": "x", "duration": 300000000000}`))
+	if err == nil {
+		t.Error("raw nanosecond duration accepted")
+	}
+}
+
+func TestDecodeRejectsUnknownAxisValues(t *testing.T) {
+	for _, body := range []string{
+		`{"name": "x", "apps": ["Joost"]}`,
+		`{"name": "x", "strategies": ["newest"]}`,
+		`{"name": "x", "scenarios": ["worldcup"]}`,
+		`{"name": "x", "metrics": ["vibes"]}`,
+	} {
+		if _, err := DecodeBytes([]byte(body)); err == nil {
+			t.Errorf("bad axis value accepted: %s", body)
+		}
+	}
+}
+
+func TestDecodeRejectsTrailingData(t *testing.T) {
+	_, err := DecodeBytes([]byte(`{"name": "x"} {"name": "y"}`))
+	if err == nil || !strings.Contains(err.Error(), "trailing") {
+		t.Errorf("trailing data accepted: %v", err)
+	}
+}
+
+// TestScenarioAxisForms: a scenario-axis entry decodes from a bare name or
+// from an object with an inline spec, strictly in both forms.
+func TestScenarioAxisForms(t *testing.T) {
+	st, err := DecodeBytes([]byte(`{
+		"name": "x",
+		"scenarios": [
+			"flashcrowd",
+			{"spec": {"name": "inline", "events": [
+				{"kind": "tracker-outage", "from": 0.3, "to": 0.5}
+			]}}
+		]
+	}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(st.Scenarios) != 2 {
+		t.Fatalf("scenarios = %d, want 2", len(st.Scenarios))
+	}
+	if st.Scenarios[0].Name != "flashcrowd" || st.Scenarios[0].Spec != nil {
+		t.Errorf("bare-name entry = %+v", st.Scenarios[0])
+	}
+	if st.Scenarios[1].Spec == nil || st.Scenarios[1].Label() != "inline" {
+		t.Errorf("inline entry = %+v", st.Scenarios[1])
+	}
+
+	// Unknown fields inside the object form and inside the inline spec are
+	// both loud errors (the inline spec inherits the scenario codec's
+	// strictness).
+	for _, body := range []string{
+		`{"name": "x", "scenarios": [{"nmae": "flashcrowd"}]}`,
+		`{"name": "x", "scenarios": [{"spec": {"name": "i", "evnets": []}}]}`,
+		`{"name": "x", "scenarios": [{"spec": {"name": "i", "events": [{"kind": 3, "from": 0, "to": 1}]}}]}`,
+		`{"name": "x", "scenarios": [{}]}`,
+		// name + spec together is ambiguous: the run would follow the spec
+		// while the file appears to select the registered name.
+		`{"name": "x", "scenarios": [{"name": "flashcrowd", "spec": {"name": "i"}}]}`,
+	} {
+		if _, err := DecodeBytes([]byte(body)); err == nil {
+			t.Errorf("malformed scenario entry accepted: %s", body)
+		}
+	}
+}
+
+// TestEncodeRejectsProgrammaticVariant: silently dropping a Mutate would
+// write a different study than the one being run.
+func TestEncodeRejectsProgrammaticVariant(t *testing.T) {
+	st := &Study{Name: "x", Variants: []Variant{
+		{Name: "custom", Mutate: func(p *overlay.Profile) {}},
+	}}
+	var b strings.Builder
+	if err := Encode(&b, st); err == nil || !strings.Contains(err.Error(), "custom") {
+		t.Errorf("programmatic variant encoded: %v", err)
+	}
+	if err := Encode(&b, nil); err == nil {
+		t.Error("nil study encoded")
+	}
+}
+
+// TestInlineSpecRoundTrip: an inline scenario spec survives the study codec
+// exactly like it survives the scenario codec.
+func TestInlineSpecRoundTrip(t *testing.T) {
+	reg, err := scenario.ByName("flashcrowd")
+	if err != nil {
+		t.Fatal(err)
+	}
+	st := &Study{Name: "x", Scenarios: []Scenario{{Spec: reg}}}
+	var b strings.Builder
+	if err := Encode(&b, st); err != nil {
+		t.Fatal(err)
+	}
+	decoded, err := DecodeBytes([]byte(b.String()))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(decoded.Scenarios[0].Spec, reg) {
+		t.Errorf("inline spec did not round-trip:\n  in  %+v\n  out %+v", reg, decoded.Scenarios[0].Spec)
+	}
+}
+
+func TestLoadFileMissing(t *testing.T) {
+	if _, err := LoadFile("does/not/exist.json"); err == nil {
+		t.Error("missing file accepted")
+	}
+}

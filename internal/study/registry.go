@@ -1,0 +1,77 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+	"time"
+)
+
+// The built-in registry maps study names to fresh Study constructors, in a
+// fixed presentation order, exactly like the scenario registry: ByName
+// returns a fresh value each call so a caller mutating its copy (e.g. a CLI
+// -duration override) cannot corrupt the registry.
+var registry = []struct {
+	name  string
+	build func() Study
+}{
+	{"strategy-comparison", strategyComparison},
+	{"blind-ablation", blindAblation},
+}
+
+// Names lists the registered studies in presentation order.
+func Names() []string {
+	out := make([]string, len(registry))
+	for i, r := range registry {
+		out[i] = r.name
+	}
+	return out
+}
+
+// ByName returns a fresh copy of the named study.
+func ByName(name string) (*Study, error) {
+	for _, r := range registry {
+		if r.name == name {
+			st := r.build()
+			return &st, nil
+		}
+	}
+	return nil, fmt.Errorf("study: unknown study %q (want %s)",
+		name, strings.Join(Names(), ", "))
+}
+
+// strategyComparison is the ROADMAP's strategy-comparison artifact: the
+// Mathieu–Perino chunk-scheduling space replayed per application, read as
+// continuity (does the stream survive), source load (does the swarm carry
+// itself) and diffusion delay (how fast a chunk reaches the audience),
+// contrasted across all four registered strategies for all three
+// applications with seed error bars.
+func strategyComparison() Study {
+	return Study{
+		Name:        "strategy-comparison",
+		Description: "continuity, source load and diffusion delay across the four chunk strategies per app",
+		Apps:        []string{"PPLive", "SopCast", "TVAnts"},
+		Strategies:  []string{"urgent-random", "latest-useful", "rarest", "deadline"},
+		Trials:      3,
+		BaseSeed:    1,
+		Duration:    Duration(2 * time.Minute),
+	}
+}
+
+// blindAblation is the network-awareness ablation as a study: each
+// application's stock discovery against a location- and bandwidth-blind
+// variant — the file-expressible version of the biasstudy example.
+func blindAblation() Study {
+	return Study{
+		Name:        "blind-ablation",
+		Description: "stock discovery vs uniform-blind discovery per app (AS awareness and the price of losing it)",
+		Apps:        []string{"PPLive", "SopCast", "TVAnts"},
+		Variants: []Variant{
+			{},
+			{Name: "blind", Blind: true},
+		},
+		Trials:   3,
+		BaseSeed: 1,
+		Duration: Duration(2 * time.Minute),
+		Metrics:  []string{"continuity", "as-awareness", "source-share"},
+	}
+}

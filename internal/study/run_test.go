@@ -1,0 +1,369 @@
+package study
+
+import (
+	"context"
+	"errors"
+	"runtime"
+	"strings"
+	"sync"
+	"testing"
+	"time"
+
+	"napawine/internal/experiment"
+	"napawine/internal/scenario"
+)
+
+// scenarioSpecEmptyArrivals validates but cannot compile: its arrivals
+// window has no deferred pool to draw from (the study sets no
+// ExtraPeerFactor), so every cell fails at run time, not validate time.
+var scenarioSpecEmptyArrivals = scenario.Spec{
+	Name:   "doomed",
+	Events: []scenario.Event{{Kind: scenario.Arrivals, From: 0.1, To: 0.2}},
+}
+
+// miniStudy is a small but non-trivial grid: 1 app × 2 strategies × 2
+// seeds at miniature scale, cheap enough to run repeatedly.
+func miniStudy() *Study {
+	return &Study{
+		Name:        "mini",
+		Description: "test grid",
+		Apps:        []string{"TVAnts"},
+		Strategies:  []string{"urgent-random", "rarest"},
+		Seeds:       []int64{3, 4},
+		Duration:    Duration(20 * time.Second),
+		PeerFactor:  0.05,
+	}
+}
+
+func renderStudy(t *testing.T, res *Result) string {
+	t.Helper()
+	var b strings.Builder
+	if err := res.ComparisonTable().Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	if err := res.PivotTable(Metrics()[0], AxisStrategy, AxisSeed).Render(&b); err != nil {
+		t.Fatal(err)
+	}
+	return b.String()
+}
+
+// TestRunDeterministicAcrossWorkers: the same study renders byte-identical
+// tables no matter how its cells are spread over workers — the study layer
+// inherits the engine's determinism contract.
+func TestRunDeterministicAcrossWorkers(t *testing.T) {
+	render := func(workers int) string {
+		res, err := Run(context.Background(), miniStudy(), WithWorkers(workers))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return renderStudy(t, res)
+	}
+	serial, parallel := render(1), render(4)
+	if serial != parallel {
+		t.Errorf("worker count changed study output:\n--- workers=1 ---\n%s\n--- workers=4 ---\n%s",
+			serial, parallel)
+	}
+	for _, want := range []string{"urgent-random", "rarest", "Continuity", "Source kbps", "Diffusion s"} {
+		if !strings.Contains(serial, want) {
+			t.Errorf("comparison table missing %q:\n%s", want, serial)
+		}
+	}
+}
+
+// TestRunCellsCarryCoordinates: every grid cell comes back Done with its
+// axis coordinates and a well-formed summary.
+func TestRunCellsCarryCoordinates(t *testing.T) {
+	res, err := Run(context.Background(), miniStudy(), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Cells) != 4 {
+		t.Fatalf("cells = %d, want 4", len(res.Cells))
+	}
+	if res.Trials() != 2 {
+		t.Errorf("Trials = %d, want 2", res.Trials())
+	}
+	for i, c := range res.Cells {
+		if !c.Done {
+			t.Errorf("cell %d not done", i)
+		}
+		if c.Index != i || c.App != "TVAnts" {
+			t.Errorf("cell %d coords wrong: %+v", i, c)
+		}
+		if c.Summary.Events == 0 || c.Summary.MeanContinuity == 0 {
+			t.Errorf("cell %d summary malformed: %+v", i, c.Summary)
+		}
+		if c.Summary.SourceKbps <= 0 || c.Summary.DiffusionChunks == 0 {
+			t.Errorf("cell %d missing comparison metrics: source %.1f kbps, %d diffusion chunks",
+				i, c.Summary.SourceKbps, c.Summary.DiffusionChunks)
+		}
+	}
+	if res.Full != nil {
+		t.Error("full results retained without WithFullResults")
+	}
+}
+
+// TestRunFullResults: WithFullResults retains the complete per-cell Result.
+func TestRunFullResults(t *testing.T) {
+	st := miniStudy()
+	st.Strategies = []string{""}
+	st.Seeds = []int64{3}
+	res, err := Run(context.Background(), st, WithFullResults())
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(res.Full) != 1 || res.Full[0] == nil {
+		t.Fatalf("Full = %v", res.Full)
+	}
+	if res.Full[0].App != "TVAnts" || len(res.Full[0].Observations) == 0 {
+		t.Errorf("full result malformed: %+v", res.Full[0].App)
+	}
+}
+
+// countingObserver records callbacks under a lock and can cancel the run
+// after the first completed cell.
+type countingObserver struct {
+	mu       sync.Mutex
+	starts   int
+	dones    int
+	errs     int
+	samples  int
+	cancelAt int // cancel after this many OnRunDone calls (0 = never)
+	cancel   context.CancelFunc
+}
+
+func (o *countingObserver) OnRunStart(RunInfo) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.starts++
+}
+
+func (o *countingObserver) OnRunDone(_ RunInfo, _ experiment.Summary, err error) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.dones++
+	if err != nil {
+		o.errs++
+	}
+	if o.cancelAt > 0 && o.dones >= o.cancelAt && o.cancel != nil {
+		o.cancel()
+	}
+}
+
+func (o *countingObserver) OnSample(_ RunInfo, _ experiment.SeriesSample) {
+	o.mu.Lock()
+	defer o.mu.Unlock()
+	o.samples++
+}
+
+// TestObserverStreamsRunsAndSeries: every cell reports start and done, and
+// scenario cells stream their per-bucket samples live.
+func TestObserverStreamsRunsAndSeries(t *testing.T) {
+	st := miniStudy()
+	st.Strategies = []string{""}
+	st.Scenarios = []Scenario{{Name: "flashcrowd"}}
+	obs := &countingObserver{}
+	res, err := Run(context.Background(), st, WithObserver(obs), WithWorkers(2))
+	if err != nil {
+		t.Fatal(err)
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if obs.starts != 2 || obs.dones != 2 || obs.errs != 0 {
+		t.Errorf("observer saw %d starts, %d dones, %d errors; want 2, 2, 0",
+			obs.starts, obs.dones, obs.errs)
+	}
+	if obs.samples == 0 {
+		t.Error("observer streamed no time-series samples for a scenario study")
+	}
+	// The streamed samples are the same ones the summaries retain.
+	total := 0
+	for _, c := range res.Cells {
+		total += len(c.Summary.Series)
+	}
+	if obs.samples != total {
+		t.Errorf("streamed %d samples, summaries retain %d", obs.samples, total)
+	}
+}
+
+// TestRunCancellationMidBattery is the cancellation contract: a study
+// cancelled mid-flight returns ctx.Err() promptly, leaks no goroutines,
+// and hands back well-formed partial results for the cells that finished.
+func TestRunCancellationMidBattery(t *testing.T) {
+	before := runtime.NumGoroutine()
+
+	st := miniStudy()
+	st.Seeds = []int64{3, 4, 5, 6}
+	st.Strategies = []string{"urgent-random", "rarest", "deadline"} // 12 cells
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	obs := &countingObserver{cancelAt: 1, cancel: cancel}
+
+	start := time.Now()
+	res, err := Run(ctx, st, WithWorkers(2), WithObserver(obs))
+	elapsed := time.Since(start)
+
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	if res == nil {
+		t.Fatal("cancelled run returned no partial result")
+	}
+	if len(res.Cells) != 12 {
+		t.Fatalf("partial result has %d cells, want 12", len(res.Cells))
+	}
+	done, undone := 0, 0
+	for _, c := range res.Cells {
+		if c.Done {
+			done++
+			if c.Summary.Events == 0 {
+				t.Errorf("done cell %d has an empty summary", c.Index)
+			}
+		} else {
+			undone++
+			if c.Summary.Events != 0 {
+				t.Errorf("skipped cell %d has a non-zero summary", c.Index)
+			}
+		}
+	}
+	if done == 0 {
+		t.Error("no cell completed before the cancel (observer cancels after the first)")
+	}
+	if undone == 0 {
+		t.Error("cancellation stopped nothing: every cell ran to completion")
+	}
+	// Promptness: the 12-cell battery would take many times longer than
+	// the couple of runs that were in flight at cancel time.
+	if elapsed > 30*time.Second {
+		t.Errorf("cancelled run took %v", elapsed)
+	}
+	// The partial result still renders.
+	if tab := res.ComparisonTable(); tab == nil || len(tab.Rows) == 0 {
+		t.Error("partial result does not render")
+	}
+
+	// No goroutine leaks: the worker pool must be fully joined. Allow the
+	// runtime a moment to retire exiting goroutines.
+	deadline := time.Now().Add(2 * time.Second)
+	for {
+		if runtime.NumGoroutine() <= before {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Errorf("goroutines leaked: %d before, %d after", before, runtime.NumGoroutine())
+			break
+		}
+		time.Sleep(10 * time.Millisecond)
+	}
+}
+
+// TestRunPreCancelled: a study under an already-cancelled context runs
+// nothing and says so.
+func TestRunPreCancelled(t *testing.T) {
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel()
+	obs := &countingObserver{}
+	res, err := Run(ctx, miniStudy(), WithObserver(obs))
+	if !errors.Is(err, context.Canceled) {
+		t.Fatalf("err = %v, want context.Canceled", err)
+	}
+	for _, c := range res.Cells {
+		if c.Done {
+			t.Error("pre-cancelled study completed a cell")
+		}
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if obs.starts != 0 {
+		t.Errorf("pre-cancelled study started %d cells", obs.starts)
+	}
+}
+
+// TestRunCellErrorStopsDispatch: a cell failure at run time (here, an
+// arrivals event over an empty deferred pool, which Validate cannot see)
+// must stop further cells from starting; the first error in grid order
+// comes back, not hours of doomed simulation.
+func TestRunCellErrorStopsDispatch(t *testing.T) {
+	st := miniStudy()
+	st.Strategies = []string{""}
+	st.Seeds = []int64{3, 4, 5, 6, 7, 8}
+	// ExtraPeerFactor 0 ⇒ no deferred pool ⇒ Compile fails inside every
+	// cell's experiment.
+	st.Scenarios = []Scenario{{Spec: &scenarioSpecEmptyArrivals}}
+	obs := &countingObserver{}
+	res, err := Run(context.Background(), st, WithWorkers(1), WithObserver(obs))
+	if err == nil {
+		t.Fatal("doomed study reported success")
+	}
+	if res != nil {
+		t.Error("failed (non-cancelled) study returned a result")
+	}
+	if errors.Is(err, errCellSkipped) {
+		t.Errorf("skip sentinel surfaced as the study error: %v", err)
+	}
+	obs.mu.Lock()
+	defer obs.mu.Unlock()
+	if obs.starts != 1 {
+		t.Errorf("dispatch not stopped after first failure: %d cells started, want 1", obs.starts)
+	}
+}
+
+// TestRunCellErrorNeverSurfacesSkipSentinel: under parallel workers an
+// in-flight low-index cell can observe the failure flag after a
+// higher-index cell set it; the study error must still be a real cell
+// failure, never the internal skip marker.
+func TestRunCellErrorNeverSurfacesSkipSentinel(t *testing.T) {
+	st := miniStudy()
+	st.Strategies = []string{""}
+	st.Seeds = []int64{3, 4, 5, 6, 7, 8, 9, 10}
+	st.Scenarios = []Scenario{{Spec: &scenarioSpecEmptyArrivals}}
+	for workers := 1; workers <= 8; workers *= 2 {
+		_, err := Run(context.Background(), st, WithWorkers(workers))
+		if err == nil {
+			t.Fatalf("workers=%d: doomed study reported success", workers)
+		}
+		if errors.Is(err, errCellSkipped) || strings.Contains(err.Error(), "skipped") {
+			t.Errorf("workers=%d: skip sentinel masked the real failure: %v", workers, err)
+		}
+		if !strings.Contains(err.Error(), "doomed") {
+			t.Errorf("workers=%d: error does not name the failing scenario: %v", workers, err)
+		}
+	}
+}
+
+// TestCancellableEventsMatchBackground: wiring up a cancellable context
+// (Ctrl-C support) must not shift the reported Events metric — the
+// cancellation poll's own firings are excluded, keeping tables
+// byte-identical to context-free runs.
+func TestCancellableEventsMatchBackground(t *testing.T) {
+	st := miniStudy()
+	st.Strategies = []string{""}
+	st.Seeds = []int64{3}
+	plain, err := Run(context.Background(), st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	cancellable, err := Run(ctx, st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p, c := plain.Cells[0].Summary.Events, cancellable.Cells[0].Summary.Events; p != c {
+		t.Errorf("Events drifted under a cancellable context: background %d, cancellable %d", p, c)
+	}
+}
+
+// TestRunValidationFailsFast: a bad axis value dies before any simulation.
+func TestRunValidationFailsFast(t *testing.T) {
+	st := miniStudy()
+	st.Strategies = []string{"newest"}
+	start := time.Now()
+	_, err := Run(context.Background(), st)
+	if err == nil || !strings.Contains(err.Error(), "newest") {
+		t.Errorf("bad strategy survived: %v", err)
+	}
+	if time.Since(start) > 2*time.Second {
+		t.Error("validation burned simulation time")
+	}
+}

@@ -1,0 +1,432 @@
+// Package study is the declarative execution layer above the experiment
+// engine: a Study names a grid — applications × chunk-scheduling strategies
+// × workload scenarios × profile variants × seeds — and Run replays one
+// experiment per grid cell, reducing each to a bounded summary and pivoting
+// the lot into comparison tables.
+//
+// The paper's deliverable is comparative (the same swarm read side-by-side
+// across applications and conditions, Tables II–IV), and simulation
+// harnesses in the same literature (PSim/SSSim, Gallo et al.) treat an
+// experiment campaign as a first-class declarative object for exactly that
+// reason. A Study is that object here: strict JSON codec (mirroring the
+// scenario codec — unknown fields are loud errors, registered studies
+// round-trip), context cancellation, an Observer for progress and
+// per-bucket time-series streaming, and axis pivots over the results. The
+// single-battery (napawine.RunAll) and replicated-sweep (sweep.Run) entry
+// points compile into one-cell/one-axis studies, so every execution path
+// above the engine is this one.
+package study
+
+import (
+	"fmt"
+	"strconv"
+	"time"
+
+	"napawine/internal/apps"
+	"napawine/internal/experiment"
+	"napawine/internal/overlay"
+	"napawine/internal/policy"
+	"napawine/internal/runner"
+	"napawine/internal/scenario"
+)
+
+// Duration is a time.Duration that travels through the JSON codec as a
+// human-readable string ("5m", "90s"), never as raw nanoseconds.
+type Duration time.Duration
+
+// MarshalText encodes the duration in time.Duration notation.
+func (d Duration) MarshalText() ([]byte, error) {
+	return []byte(time.Duration(d).String()), nil
+}
+
+// UnmarshalText decodes time.Duration notation; a bare number is an error.
+func (d *Duration) UnmarshalText(b []byte) error {
+	parsed, err := time.ParseDuration(string(b))
+	if err != nil {
+		return fmt.Errorf("study: bad duration %q (want e.g. \"5m\", \"90s\")", b)
+	}
+	if parsed < 0 {
+		return fmt.Errorf("study: negative duration %q", b)
+	}
+	*d = Duration(parsed)
+	return nil
+}
+
+// Scenario is one cell of the scenario axis: a registered scenario by name,
+// an inline workload timeline, or the zero value for the stationary
+// condition (no scenario, no time series). In a JSON study the axis entry
+// is either a bare name string ("flashcrowd") or an object carrying an
+// inline spec ({"spec": {...}}); see the codec.
+type Scenario struct {
+	// Name selects a registered scenario ("" = stationary).
+	Name string
+	// Spec, when non-nil, is the timeline itself (e.g. a file-authored
+	// spec) and takes precedence over Name.
+	Spec *scenario.Spec
+}
+
+// Label names the cell for tables and progress lines.
+func (s Scenario) Label() string {
+	if s.Spec != nil {
+		return s.Spec.Name
+	}
+	return s.Name
+}
+
+// resolve returns the spec this cell runs (nil = stationary), validating it.
+func (s Scenario) resolve() (*scenario.Spec, error) {
+	if s.Spec != nil {
+		if err := s.Spec.Validate(); err != nil {
+			return nil, err
+		}
+		return s.Spec, nil
+	}
+	if s.Name == "" {
+		return nil, nil
+	}
+	return scenario.ByName(s.Name)
+}
+
+// Variant is one cell of the profile-variant axis. The zero Variant is the
+// stock profile.
+type Variant struct {
+	// Name suffixes the application label in tables ("TVAnts/blind").
+	Name string `json:"name,omitempty"`
+	// Blind replaces the profile's discovery weight with the uniform
+	// (location- and bandwidth-blind) weight — the paper's classic
+	// ablation, and the one knob a file-authored study can turn.
+	Blind bool `json:"blind,omitempty"`
+	// Mutate applies arbitrary profile changes (programmatic studies
+	// only). A study carrying a Mutate cannot be encoded to JSON: the
+	// codec rejects it rather than silently dropping the mutation.
+	Mutate func(*overlay.Profile) `json:"-"`
+}
+
+// Study is a declarative experiment grid. Empty axes select defaults: the
+// paper's three applications, the profile's own strategy, the stationary
+// condition, the stock profile, one seed. Every listed axis value is
+// validated up front — a typo'd strategy fails before any CPU burns.
+type Study struct {
+	Name        string `json:"name"`
+	Description string `json:"description,omitempty"`
+
+	// Apps lists the applications (empty = the paper's three).
+	Apps []string `json:"apps,omitempty"`
+	// Strategies lists chunk-scheduling strategies by registered name;
+	// "" means each profile's own. Empty = [""].
+	Strategies []string `json:"strategies,omitempty"`
+	// Scenarios lists workload-timeline cells. Empty = the stationary
+	// condition.
+	Scenarios []Scenario `json:"scenarios,omitempty"`
+	// Variants lists profile-variant cells. Empty = the stock profile.
+	Variants []Variant `json:"variants,omitempty"`
+
+	// Seeds lists the trial seeds; empty selects Trials sequential seeds
+	// starting at BaseSeed (or 1 when BaseSeed is 0). A 0 seed keeps the
+	// application's calibrated default.
+	Seeds    []int64 `json:"seeds,omitempty"`
+	BaseSeed int64   `json:"base_seed,omitempty"`
+	Trials   int     `json:"trials,omitempty"`
+
+	// Duration is the virtual run length per cell (0 = per-app default).
+	Duration Duration `json:"duration,omitempty"`
+	// PeerFactor scales each application's default background population
+	// (0 = 1.0, floor of 50 peers), exactly like napawine.Scale.
+	PeerFactor float64 `json:"peer_factor,omitempty"`
+
+	// Metrics names the comparison table's columns by registered metric
+	// key (empty = the continuity / source load / diffusion delay
+	// default). See study.Metrics for the registry.
+	Metrics []string `json:"metrics,omitempty"`
+}
+
+// AppList resolves the application axis.
+func (st *Study) AppList() []string {
+	if len(st.Apps) > 0 {
+		return st.Apps
+	}
+	return []string{"PPLive", "SopCast", "TVAnts"}
+}
+
+// StrategyList resolves the strategy axis.
+func (st *Study) StrategyList() []string {
+	if len(st.Strategies) > 0 {
+		return st.Strategies
+	}
+	return []string{""}
+}
+
+// ScenarioList resolves the scenario axis.
+func (st *Study) ScenarioList() []Scenario {
+	if len(st.Scenarios) > 0 {
+		return st.Scenarios
+	}
+	return []Scenario{{}}
+}
+
+// VariantList resolves the variant axis.
+func (st *Study) VariantList() []Variant {
+	if len(st.Variants) > 0 {
+		return st.Variants
+	}
+	return []Variant{{}}
+}
+
+// SeedList resolves the seed axis (sweep.Spec shares this convention).
+func (st *Study) SeedList() []int64 {
+	if len(st.Seeds) > 0 {
+		return st.Seeds
+	}
+	base := st.BaseSeed
+	if base == 0 {
+		base = 1
+	}
+	n := st.Trials
+	if n <= 0 {
+		n = 1
+	}
+	return runner.Seeds(base, n)
+}
+
+// Runs reports the grid size: one experiment per cell.
+func (st *Study) Runs() int {
+	return len(st.AppList()) * len(st.StrategyList()) * len(st.ScenarioList()) *
+		len(st.VariantList()) * len(st.SeedList())
+}
+
+// Validate checks every axis value against its registry and rejects
+// duplicate cells; it is the same fail-fast contract the scenario codec
+// gives file-authored timelines.
+func (st *Study) Validate() error {
+	if st.Name == "" {
+		return fmt.Errorf("study: study without a name")
+	}
+	if st.PeerFactor < 0 {
+		return fmt.Errorf("study %s: negative peer factor %v", st.Name, st.PeerFactor)
+	}
+	if st.Trials < 0 {
+		return fmt.Errorf("study %s: negative trials %d", st.Name, st.Trials)
+	}
+	seenApp := map[string]bool{}
+	for _, app := range st.AppList() {
+		if _, err := apps.ByName(app); err != nil {
+			return fmt.Errorf("study %s: %w", st.Name, err)
+		}
+		if seenApp[app] {
+			return fmt.Errorf("study %s: duplicate app %q", st.Name, app)
+		}
+		seenApp[app] = true
+	}
+	seenStrat := map[string]bool{}
+	for _, strat := range st.StrategyList() {
+		if _, err := policy.StrategyByName(strat); err != nil {
+			return fmt.Errorf("study %s: %w", st.Name, err)
+		}
+		if seenStrat[strat] {
+			return fmt.Errorf("study %s: duplicate strategy %q", st.Name, strat)
+		}
+		seenStrat[strat] = true
+	}
+	// Scenario and variant cells deduplicate on their *rendered* labels,
+	// not raw names: the zero scenario renders as "stationary" and the
+	// zero variant as "stock", so an inline spec or variant literally
+	// named that would silently merge with the default cell in every
+	// pivot. Reject the collision loudly instead.
+	seenScn := map[string]bool{}
+	for i, scn := range st.ScenarioList() {
+		if _, err := scn.resolve(); err != nil {
+			return fmt.Errorf("study %s: scenario %d: %w", st.Name, i, err)
+		}
+		label := scenarioLabel(scn.Label())
+		if seenScn[label] {
+			return fmt.Errorf("study %s: duplicate scenario %q", st.Name, label)
+		}
+		seenScn[label] = true
+	}
+	seenVar := map[string]bool{}
+	for _, vr := range st.VariantList() {
+		label := variantLabel(vr.Name)
+		if seenVar[label] {
+			return fmt.Errorf("study %s: duplicate variant %q", st.Name, label)
+		}
+		seenVar[label] = true
+	}
+	// An explicit seed list and a generated one (Trials/BaseSeed) are two
+	// different ways to author the same axis; a study carrying both would
+	// silently run whichever SeedList prefers — the fail-loudly contract
+	// says reject it instead.
+	if len(st.Seeds) > 0 && (st.Trials != 0 || st.BaseSeed != 0) {
+		return fmt.Errorf("study %s: seeds and trials/base_seed are mutually exclusive", st.Name)
+	}
+	seenSeed := map[int64]bool{}
+	for _, seed := range st.SeedList() {
+		// Seed 0 keeps the calibrated default, which is seed 1 — so 0 and
+		// 1 in one list would run the same trial twice and aggregate the
+		// duplicate as an independent replication.
+		key := seed
+		if key == 0 {
+			key = 1
+		}
+		if seenSeed[key] {
+			return fmt.Errorf("study %s: duplicate seed %d (0 selects the calibrated default, seed 1)", st.Name, seed)
+		}
+		seenSeed[key] = true
+	}
+	for _, key := range st.Metrics {
+		if _, err := MetricByKey(key); err != nil {
+			return fmt.Errorf("study %s: %w", st.Name, err)
+		}
+	}
+	return nil
+}
+
+// Axis names one grid dimension for pivots and coordinate lookups.
+type Axis string
+
+// The five grid axes.
+const (
+	AxisApp      Axis = "app"
+	AxisStrategy Axis = "strategy"
+	AxisScenario Axis = "scenario"
+	AxisVariant  Axis = "variant"
+	AxisSeed     Axis = "seed"
+)
+
+// Axes lists the grid axes in nesting order (outermost first), which is
+// also cell order in a Result.
+func Axes() []Axis { return []Axis{AxisApp, AxisStrategy, AxisScenario, AxisVariant, AxisSeed} }
+
+// cell is one resolved grid point, ready to configure an experiment.
+type cell struct {
+	index    int
+	app      string
+	strategy string
+	scnLabel string
+	varName  string
+	seed     int64
+
+	scn     *scenario.Spec // resolved; nil = stationary
+	variant Variant
+}
+
+// resolveGrid validates the study and expands it into cells in axis nesting
+// order: app (outermost) → strategy → scenario → variant → seed. Scenario
+// specs are resolved once and shared across cells; experiment.Run clones
+// its spec on entry, so the sharing can never leak between parallel runs or
+// back into the caller.
+func (st *Study) resolveGrid() ([]cell, error) {
+	if err := st.Validate(); err != nil {
+		return nil, err
+	}
+	scns := st.ScenarioList()
+	specs := make([]*scenario.Spec, len(scns))
+	for i, s := range scns {
+		spec, err := s.resolve()
+		if err != nil {
+			// Unreachable after Validate; kept so resolution can never
+			// silently run a different grid than the one validated.
+			return nil, fmt.Errorf("study %s: scenario %d: %w", st.Name, i, err)
+		}
+		specs[i] = spec
+	}
+	cells := make([]cell, 0, st.Runs())
+	for _, app := range st.AppList() {
+		for _, strat := range st.StrategyList() {
+			for i, scn := range scns {
+				for _, vr := range st.VariantList() {
+					for _, seed := range st.SeedList() {
+						cells = append(cells, cell{
+							index:    len(cells),
+							app:      app,
+							strategy: strat,
+							scnLabel: scn.Label(),
+							varName:  vr.Name,
+							seed:     seed,
+							scn:      specs[i],
+							variant:  vr,
+						})
+					}
+				}
+			}
+		}
+	}
+	return cells, nil
+}
+
+// config builds the cell's experiment configuration — the same knob-for-knob
+// construction napawine.RunAll and sweep.Run used before they became
+// adapters, so adapted batteries reproduce their pre-study output
+// byte-for-byte (the golden-digest tests pin this).
+func (c cell) config(st *Study) (experiment.Config, error) {
+	cfg := experiment.Default(c.app)
+	if c.seed != 0 {
+		cfg.Seed = c.seed
+		cfg.World.Seed = c.seed
+	}
+	if st.Duration > 0 {
+		cfg.Duration = time.Duration(st.Duration)
+	}
+	cfg.ScalePeers(st.PeerFactor)
+	cfg.Scenario = c.scn
+	cfg.Strategy = c.strategy
+	if c.variant.Blind || c.variant.Mutate != nil {
+		base, err := apps.ByName(c.app)
+		if err != nil {
+			return cfg, err
+		}
+		blind := c.variant.Blind
+		mutate := c.variant.Mutate
+		cfg.Profile = apps.Variant(base, c.variant.Name, func(p *overlay.Profile) {
+			if blind {
+				p.DiscoveryWeight = policy.Uniform{}
+			}
+			if mutate != nil {
+				mutate(p)
+			}
+		})
+	}
+	return cfg, nil
+}
+
+// coord reads one cell coordinate by axis, as rendered in tables.
+func (c cell) coord(ax Axis) string {
+	switch ax {
+	case AxisApp:
+		return c.app
+	case AxisStrategy:
+		return strategyLabel(c.strategy)
+	case AxisScenario:
+		return scenarioLabel(c.scnLabel)
+	case AxisVariant:
+		return variantLabel(c.varName)
+	case AxisSeed:
+		return strconv.FormatInt(c.seed, 10)
+	}
+	return ""
+}
+
+// strategyLabel renders the strategy coordinate; "" is each profile's own
+// strategy.
+func strategyLabel(s string) string {
+	if s == "" {
+		return "default"
+	}
+	return s
+}
+
+// scenarioLabel renders the scenario coordinate; "" is the stationary
+// condition.
+func scenarioLabel(s string) string {
+	if s == "" {
+		return "stationary"
+	}
+	return s
+}
+
+// variantLabel renders the variant coordinate; "" is the stock profile.
+func variantLabel(s string) string {
+	if s == "" {
+		return "stock"
+	}
+	return s
+}

@@ -1,0 +1,241 @@
+package study
+
+import (
+	"strings"
+	"testing"
+	"time"
+
+	"napawine/internal/overlay"
+	"napawine/internal/scenario"
+)
+
+func TestStudyDefaults(t *testing.T) {
+	st := &Study{Name: "d"}
+	if got := st.AppList(); len(got) != 3 || got[0] != "PPLive" {
+		t.Errorf("default apps = %v", got)
+	}
+	if got := st.StrategyList(); len(got) != 1 || got[0] != "" {
+		t.Errorf("default strategies = %v", got)
+	}
+	if got := st.ScenarioList(); len(got) != 1 || got[0].Label() != "" {
+		t.Errorf("default scenarios = %v", got)
+	}
+	if got := st.VariantList(); len(got) != 1 || got[0].Name != "" {
+		t.Errorf("default variants = %v", got)
+	}
+	if got := st.SeedList(); len(got) != 1 || got[0] != 1 {
+		t.Errorf("default seeds = %v", got)
+	}
+	if st.Runs() != 3 {
+		t.Errorf("Runs = %d, want 3", st.Runs())
+	}
+	if err := st.Validate(); err != nil {
+		t.Errorf("default study invalid: %v", err)
+	}
+}
+
+func TestStudyRunsIsGridProduct(t *testing.T) {
+	st := &Study{
+		Name:       "grid",
+		Apps:       []string{"TVAnts", "SopCast"},
+		Strategies: []string{"urgent-random", "rarest"},
+		Scenarios:  []Scenario{{}, {Name: "flashcrowd"}},
+		Variants:   []Variant{{}, {Name: "blind", Blind: true}},
+		Trials:     3,
+	}
+	if got := st.Runs(); got != 2*2*2*2*3 {
+		t.Errorf("Runs = %d, want 48", got)
+	}
+	if err := st.Validate(); err != nil {
+		t.Errorf("grid study invalid: %v", err)
+	}
+}
+
+func TestStudyValidateRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		st   Study
+		want string
+	}{
+		{"no name", Study{}, "without a name"},
+		{"bad app", Study{Name: "s", Apps: []string{"Joost"}}, "Joost"},
+		{"dup app", Study{Name: "s", Apps: []string{"TVAnts", "TVAnts"}}, "duplicate app"},
+		{"bad strategy", Study{Name: "s", Strategies: []string{"newest"}}, "newest"},
+		{"dup strategy", Study{Name: "s", Strategies: []string{"rarest", "rarest"}}, "duplicate strategy"},
+		{"bad scenario", Study{Name: "s", Scenarios: []Scenario{{Name: "worldcup"}}}, "worldcup"},
+		{"dup scenario", Study{Name: "s", Scenarios: []Scenario{{Name: "outage"}, {Name: "outage"}}}, "duplicate scenario"},
+		{"dup variant", Study{Name: "s", Variants: []Variant{{}, {Blind: true}}}, "duplicate variant"},
+		// Rendered-label collisions: an axis cell whose name collides with
+		// a default cell's rendered coordinate would silently merge with it
+		// in every pivot.
+		{"variant named stock", Study{Name: "s", Variants: []Variant{{}, {Name: "stock", Blind: true}}}, "duplicate variant"},
+		{"scenario named stationary", Study{Name: "s", Scenarios: []Scenario{
+			{}, {Spec: &scenario.Spec{Name: "stationary"}}}}, "duplicate scenario"},
+		{"dup seed", Study{Name: "s", Seeds: []int64{4, 4}}, "duplicate seed"},
+		// Seed 0 keeps the calibrated default (seed 1), so listing both
+		// would replicate one trial and call it two.
+		{"seed 0 aliases 1", Study{Name: "s", Seeds: []int64{0, 1}}, "duplicate seed"},
+		{"seeds and trials", Study{Name: "s", Seeds: []int64{4}, Trials: 5}, "mutually exclusive"},
+		{"seeds and base seed", Study{Name: "s", Seeds: []int64{4}, BaseSeed: 9}, "mutually exclusive"},
+		{"neg factor", Study{Name: "s", PeerFactor: -1}, "negative peer factor"},
+		{"neg trials", Study{Name: "s", Trials: -2}, "negative trials"},
+		{"bad metric", Study{Name: "s", Metrics: []string{"vibes"}}, "vibes"},
+	} {
+		err := tc.st.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}
+
+// TestGridOrder pins cell nesting: app outermost, then strategy, scenario,
+// variant, seed — the order the sweep adapter's regrouping relies on.
+func TestGridOrder(t *testing.T) {
+	st := &Study{
+		Name:       "order",
+		Apps:       []string{"TVAnts"},
+		Strategies: []string{"urgent-random", "rarest"},
+		Variants:   []Variant{{}, {Name: "blind", Blind: true}},
+		Seeds:      []int64{7, 8},
+	}
+	cells, err := st.resolveGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 8 {
+		t.Fatalf("cells = %d, want 8", len(cells))
+	}
+	want := []struct {
+		strat, vr string
+		seed      int64
+	}{
+		{"urgent-random", "", 7}, {"urgent-random", "", 8},
+		{"urgent-random", "blind", 7}, {"urgent-random", "blind", 8},
+		{"rarest", "", 7}, {"rarest", "", 8},
+		{"rarest", "blind", 7}, {"rarest", "blind", 8},
+	}
+	for i, w := range want {
+		c := cells[i]
+		if c.strategy != w.strat || c.varName != w.vr || c.seed != w.seed || c.index != i {
+			t.Errorf("cell %d = (%s, %s, %d, idx %d), want (%s, %s, %d, idx %d)",
+				i, c.strategy, c.varName, c.seed, c.index, w.strat, w.vr, w.seed, i)
+		}
+	}
+}
+
+// TestCellConfig pins the per-cell experiment configuration to the battery
+// conventions: seed 0 keeps the calibrated default, durations and scale
+// apply, variants derive profiles.
+func TestCellConfig(t *testing.T) {
+	st := &Study{Name: "cfg", Duration: Duration(42 * time.Second), PeerFactor: 0.5}
+	blind := false
+	c := cell{app: "TVAnts", strategy: "rarest", seed: 9,
+		variant: Variant{Name: "v", Mutate: func(p *overlay.Profile) { blind = true }}}
+	cfg, err := c.config(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 9 || cfg.World.Seed != 9 {
+		t.Errorf("seed not applied: %d/%d", cfg.Seed, cfg.World.Seed)
+	}
+	if cfg.Duration != 42*time.Second {
+		t.Errorf("duration = %v", cfg.Duration)
+	}
+	if cfg.Strategy != "rarest" {
+		t.Errorf("strategy = %q", cfg.Strategy)
+	}
+	if cfg.World.Peers != 120 { // 240 * 0.5
+		t.Errorf("peers = %d, want 120", cfg.World.Peers)
+	}
+	if cfg.Profile == nil || cfg.Profile.Name != "v" {
+		t.Errorf("variant profile not derived: %+v", cfg.Profile)
+	}
+	if !blind {
+		t.Error("variant Mutate not applied")
+	}
+
+	zero := cell{app: "TVAnts"}
+	cfg, err = zero.config(&Study{Name: "z"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if cfg.Seed != 1 || cfg.Profile != nil {
+		t.Errorf("zero cell should keep defaults: seed %d, profile %v", cfg.Seed, cfg.Profile)
+	}
+}
+
+func TestCoordLabels(t *testing.T) {
+	c := Cell{App: "TVAnts", Seed: 3}
+	for ax, want := range map[Axis]string{
+		AxisApp: "TVAnts", AxisStrategy: "default", AxisScenario: "stationary",
+		AxisVariant: "stock", AxisSeed: "3",
+	} {
+		if got := c.Coord(ax); got != want {
+			t.Errorf("Coord(%s) = %q, want %q", ax, got, want)
+		}
+	}
+}
+
+func TestDurationText(t *testing.T) {
+	var d Duration
+	if err := d.UnmarshalText([]byte("90s")); err != nil || time.Duration(d) != 90*time.Second {
+		t.Errorf("UnmarshalText(90s) = %v, %v", d, err)
+	}
+	if err := d.UnmarshalText([]byte("not-a-duration")); err == nil {
+		t.Error("garbage duration accepted")
+	}
+	if err := d.UnmarshalText([]byte("-5s")); err == nil {
+		t.Error("negative duration accepted")
+	}
+	b, err := Duration(2 * time.Minute).MarshalText()
+	if err != nil || string(b) != "2m0s" {
+		t.Errorf("MarshalText = %q, %v", b, err)
+	}
+}
+
+func TestRegistryStudiesValid(t *testing.T) {
+	names := Names()
+	if len(names) == 0 {
+		t.Fatal("empty study registry")
+	}
+	for _, name := range names {
+		st, err := ByName(name)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := st.Validate(); err != nil {
+			t.Errorf("registered study %s invalid: %v", name, err)
+		}
+		if st.Description == "" {
+			t.Errorf("registered study %s has no description", name)
+		}
+	}
+	if _, err := ByName("nope"); err == nil || !strings.Contains(err.Error(), "nope") {
+		t.Errorf("unknown study error = %v", err)
+	}
+	// ByName hands out fresh copies: mutating one must not corrupt the next.
+	a, _ := ByName(names[0])
+	a.Trials = 99
+	b, _ := ByName(names[0])
+	if b.Trials == 99 {
+		t.Error("ByName returned a shared value")
+	}
+}
+
+func TestMetricRegistry(t *testing.T) {
+	for _, m := range Metrics() {
+		if m.Key == "" || m.Label == "" || m.Get == nil {
+			t.Errorf("malformed metric %+v", m)
+		}
+		got, err := MetricByKey(m.Key)
+		if err != nil || got.Label != m.Label {
+			t.Errorf("MetricByKey(%s) = %+v, %v", m.Key, got, err)
+		}
+	}
+	if _, err := MetricByKey("vibes"); err == nil || !strings.Contains(err.Error(), "vibes") {
+		t.Errorf("unknown metric error = %v", err)
+	}
+	if got := len(DefaultMetrics()); got != 4 {
+		t.Errorf("DefaultMetrics = %d metrics, want 4", got)
+	}
+}

@@ -1,0 +1,199 @@
+package study
+
+import (
+	"fmt"
+	"strings"
+
+	"napawine/internal/experiment"
+	"napawine/internal/report"
+	"napawine/internal/stats"
+)
+
+// Metric is one per-run number a study can pivot: a label, a print
+// precision and an accessor over the bounded run summary. The bool reports
+// whether the run measured the metric at all — unmeasurable cells aggregate
+// like Table IV's dashes, never as zeros.
+type Metric struct {
+	Key      string
+	Label    string
+	Decimals int
+	Get      func(experiment.Summary) (float64, bool)
+}
+
+// metrics is the registry, in presentation order. The first three are the
+// strategy-comparison study's headline: playout continuity, source load and
+// chunk diffusion delay.
+var metrics = []Metric{
+	{"continuity", "Continuity", 3,
+		func(s experiment.Summary) (float64, bool) { return s.MeanContinuity, true }},
+	{"source-kbps", "Source kbps", 0,
+		func(s experiment.Summary) (float64, bool) { return s.SourceKbps, true }},
+	{"source-share", "Source share%", 1,
+		func(s experiment.Summary) (float64, bool) { return s.SourceSharePct, s.VideoBytes > 0 }},
+	{"diffusion-delay", "Diffusion s", 2,
+		func(s experiment.Summary) (float64, bool) { return s.DiffusionDelayS, s.DiffusionChunks > 0 }},
+	{"rx-kbps", "RX kbps", 0,
+		func(s experiment.Summary) (float64, bool) { return s.RxKbpsMean, true }},
+	{"hop-median", "Hop median", 1,
+		func(s experiment.Summary) (float64, bool) { return s.HopMedian, true }},
+	{"as-awareness", "AS B'D%", 1, func(s experiment.Summary) (float64, bool) {
+		for _, cell := range s.TableIV {
+			if cell.Property == "AS" {
+				return cell.Vals[0], cell.Valid[0]
+			}
+		}
+		return 0, false
+	}},
+	{"events", "Events", 0,
+		func(s experiment.Summary) (float64, bool) { return float64(s.Events), true }},
+}
+
+// Metrics lists the registered metrics in presentation order.
+func Metrics() []Metric { return append([]Metric(nil), metrics...) }
+
+// DefaultMetrics is the comparison-table default: continuity, source load
+// (rate and share) and diffusion delay.
+func DefaultMetrics() []Metric { return Metrics()[:4] }
+
+// MetricByKey resolves a registered metric.
+func MetricByKey(key string) (Metric, error) {
+	for _, m := range metrics {
+		if m.Key == key {
+			return m, nil
+		}
+	}
+	keys := make([]string, len(metrics))
+	for i, m := range metrics {
+		keys[i] = m.Key
+	}
+	return Metric{}, fmt.Errorf("study: unknown metric %q (want %s)", key, strings.Join(keys, ", "))
+}
+
+// Levels lists an axis's distinct rendered coordinates in grid order.
+func (r *Result) Levels(ax Axis) []string {
+	var out []string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		v := c.Coord(ax)
+		if !seen[v] {
+			seen[v] = true
+			out = append(out, v)
+		}
+	}
+	return out
+}
+
+// accumulate folds a metric over every completed cell matching the filter.
+func (r *Result) accumulate(m Metric, match func(Cell) bool) stats.Accumulator {
+	var acc stats.Accumulator
+	for _, c := range r.Cells {
+		if !c.Done || !match(c) {
+			continue
+		}
+		if v, ok := m.Get(c.Summary); ok {
+			acc.Add(v)
+		}
+	}
+	return acc
+}
+
+// aggCell renders one mean±stderr table cell, or the dash when no matching
+// run measured the metric.
+func aggCell(acc stats.Accumulator, decimals int) string {
+	return report.MeanErrOrDash(acc.Mean(), acc.StdErr(), decimals, acc.N() > 0)
+}
+
+// PivotTable aggregates one metric along two axes: one row per row-axis
+// level, one column per column-axis level, each cell the mean ± stderr over
+// every completed run at that coordinate pair (all remaining axes, seeds
+// included, fold into the aggregate).
+func (r *Result) PivotTable(m Metric, row, col Axis) *report.Table {
+	cols := r.Levels(col)
+	t := report.NewTable(
+		fmt.Sprintf("Study %q — %s by %s × %s (mean±stderr over %d seeds)",
+			r.Study.Name, m.Label, row, col, r.Trials()),
+		append([]string{string(row)}, cols...)...)
+	for _, rv := range r.Levels(row) {
+		cells := make([]string, 0, len(cols)+1)
+		cells = append(cells, rv)
+		for _, cv := range cols {
+			acc := r.accumulate(m, func(c Cell) bool {
+				return c.Coord(row) == rv && c.Coord(col) == cv
+			})
+			cells = append(cells, aggCell(acc, m.Decimals))
+		}
+		t.Add(cells...)
+	}
+	return t
+}
+
+// ComparisonTable renders the study's headline artifact: one row per
+// combination of the grid's non-trivial axes (those with more than one
+// level; seeds always aggregate), one column per metric, each cell
+// mean ± stderr across the folded axes. No metrics selects DefaultMetrics —
+// for the registered strategy-comparison study that is continuity, source
+// load and diffusion delay contrasted across every (app, strategy) pair.
+func (r *Result) ComparisonTable(ms ...Metric) *report.Table {
+	if len(ms) == 0 {
+		for _, key := range r.Study.Metrics {
+			if m, err := MetricByKey(key); err == nil {
+				ms = append(ms, m)
+			}
+		}
+	}
+	if len(ms) == 0 {
+		ms = DefaultMetrics()
+	}
+	var axes []Axis
+	for _, ax := range Axes() {
+		if ax == AxisSeed {
+			continue
+		}
+		if len(r.Levels(ax)) > 1 {
+			axes = append(axes, ax)
+		}
+	}
+	if len(axes) == 0 {
+		axes = []Axis{AxisApp}
+	}
+	header := make([]string, 0, len(axes)+len(ms))
+	for _, ax := range axes {
+		header = append(header, string(ax))
+	}
+	for _, m := range ms {
+		header = append(header, m.Label)
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Study %q — %s (mean±stderr over %d seeds)",
+			r.Study.Name, r.Study.Description, r.Trials()),
+		header...)
+
+	// One row per distinct axis-coordinate combination, in grid order.
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		key := ""
+		coords := make([]string, len(axes))
+		for i, ax := range axes {
+			coords[i] = c.Coord(ax)
+			key += coords[i] + "\x00"
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		row := append([]string(nil), coords...)
+		for _, m := range ms {
+			acc := r.accumulate(m, func(cc Cell) bool {
+				for i, ax := range axes {
+					if cc.Coord(ax) != coords[i] {
+						return false
+					}
+				}
+				return true
+			})
+			row = append(row, aggCell(acc, m.Decimals))
+		}
+		t.Add(row...)
+	}
+	return t
+}

@@ -15,17 +15,16 @@
 package sweep
 
 import (
+	"context"
 	"fmt"
 	"time"
 
-	"napawine/internal/apps"
 	"napawine/internal/experiment"
 	"napawine/internal/overlay"
-	"napawine/internal/policy"
 	"napawine/internal/report"
-	"napawine/internal/runner"
 	"napawine/internal/scenario"
 	"napawine/internal/stats"
+	"napawine/internal/study"
 )
 
 // Variant derives an ablation profile from each application's stock
@@ -82,18 +81,8 @@ type Spec struct {
 
 // seeds resolves the trial seed list.
 func (s Spec) seeds() []int64 {
-	if len(s.Seeds) > 0 {
-		return s.Seeds
-	}
-	base := s.BaseSeed
-	if base == 0 {
-		base = 1
-	}
-	n := s.Trials
-	if n <= 0 {
-		n = 1
-	}
-	return runner.Seeds(base, n)
+	st := study.Study{Seeds: s.Seeds, BaseSeed: s.BaseSeed, Trials: s.Trials}
+	return st.SeedList()
 }
 
 // apps resolves the application list.
@@ -132,99 +121,68 @@ type Result struct {
 // Trials reports the number of seeds per group.
 func (r *Result) Trials() int { return len(r.Seeds) }
 
-// Run executes the sweep: every (app, variant, seed) triple is one
-// independent experiment dispatched through runner.Parallel; each is
-// reduced to a Summary inside the worker so the full Result is released
-// before the next trial starts on that worker.
-func Run(spec Spec) (*Result, error) {
-	seeds := spec.seeds()
-	appList := spec.apps()
-	variants := spec.variants()
-
-	// Resolve the scenario once up front so a bad name or spec fails before
-	// any CPU burns. Workers never run against the resolved pointer:
-	// experiment.Run deep-copies its spec on entry, so nothing a worker's
-	// Compile does can race with, or leak into, the other workers — the
-	// regression tests pin both the caller's spec and cross-worker output.
-	var scn *scenario.Spec
-	if spec.ScenarioSpec != nil {
-		if err := spec.ScenarioSpec.Validate(); err != nil {
-			return nil, fmt.Errorf("sweep: %w", err)
-		}
-		scn = spec.ScenarioSpec
-		if spec.Scenario == "" {
-			spec.Scenario = scn.Name // label SeriesTable and logs
-		}
-	} else if spec.Scenario != "" {
-		var err error
-		scn, err = scenario.ByName(spec.Scenario)
-		if err != nil {
-			return nil, fmt.Errorf("sweep: %w", err)
-		}
+// Study compiles the sweep into its study: a one-strategy, one-scenario
+// grid over apps × variants × seeds. The sweep layer is an adapter over
+// the study engine — same cell order, same per-cell configuration — so a
+// sweep's aggregated tables stay byte-identical to pre-study builds (the
+// cross-worker determinism tests pin this).
+func (s Spec) Study() *study.Study {
+	variants := s.variants()
+	vs := make([]study.Variant, len(variants))
+	for i, vr := range variants {
+		vs[i] = study.Variant{Name: vr.Name, Mutate: vr.Mutate}
 	}
-	// Validate the strategy name once up front, like the app names below.
-	if _, err := policy.StrategyByName(spec.Strategy); err != nil {
+	return &study.Study{
+		Name:       "sweep",
+		Apps:       s.apps(),
+		Strategies: []string{s.Strategy},
+		Scenarios:  []study.Scenario{{Name: s.Scenario, Spec: s.ScenarioSpec}},
+		Variants:   vs,
+		Seeds:      s.seeds(),
+		Duration:   study.Duration(s.Duration),
+		PeerFactor: s.PeerFactor,
+	}
+}
+
+// Run executes the sweep: every (app, variant, seed) triple is one
+// independent experiment, each reduced to a Summary inside its worker so
+// the full Result is released before the next trial starts on that worker.
+func Run(spec Spec) (*Result, error) { return RunCtx(context.Background(), spec) }
+
+// RunCtx is Run under a context, with optional study options (an Observer,
+// say) forwarded to the underlying engine. Cancellation aborts the battery
+// promptly and returns ctx.Err(); a sweep has no partial-result story — use
+// the study API directly for that.
+func RunCtx(ctx context.Context, spec Spec, opts ...study.Option) (*Result, error) {
+	if spec.ScenarioSpec != nil && spec.Scenario == "" {
+		spec.Scenario = spec.ScenarioSpec.Name // label SeriesTable and logs
+	}
+	sres, err := study.Run(ctx, spec.Study(),
+		append([]study.Option{study.WithWorkers(spec.Workers)}, opts...)...)
+	if err != nil {
 		return nil, fmt.Errorf("sweep: %w", err)
 	}
 
-	type task struct {
-		group int
-		app   string
-		vr    Variant
-		seed  int64
-	}
-	var groups []Group
-	var tasks []task
-	for _, app := range appList {
-		// Validate the app name once up front, before burning CPU on a
-		// battery that would fail on its first task anyway.
-		if _, err := apps.ByName(app); err != nil {
-			return nil, fmt.Errorf("sweep: %w", err)
-		}
-		for _, vr := range variants {
+	// Regroup the grid cells into the sweep's (app, variant) batteries.
+	// Cell order is app → variant → seed (the strategy and scenario axes
+	// are singletons), so summaries land in seed order within each group.
+	groups := make([]Group, 0, len(spec.apps())*len(spec.variants()))
+	index := map[[2]string]int{}
+	for _, app := range spec.apps() {
+		for _, vr := range spec.variants() {
 			label := app
 			if vr.Name != "" {
 				label = app + "/" + vr.Name
 			}
-			g := len(groups)
+			index[[2]string{app, vr.Name}] = len(groups)
 			groups = append(groups, Group{App: app, Variant: vr.Name, Label: label})
-			for _, seed := range seeds {
-				tasks = append(tasks, task{group: g, app: app, vr: vr, seed: seed})
-			}
 		}
 	}
-
-	summaries, err := runner.Parallel(tasks, spec.Workers, func(t task) (experiment.Summary, error) {
-		cfg := experiment.Default(t.app)
-		cfg.Seed = t.seed
-		cfg.World.Seed = t.seed
-		cfg.Scenario = scn
-		cfg.Strategy = spec.Strategy
-		if spec.Duration > 0 {
-			cfg.Duration = spec.Duration
-		}
-		cfg.ScalePeers(spec.PeerFactor)
-		if t.vr.Mutate != nil {
-			base, err := apps.ByName(t.app)
-			if err != nil {
-				return experiment.Summary{}, err
-			}
-			cfg.Profile = apps.Variant(base, t.vr.Name, t.vr.Mutate)
-		}
-		r, err := experiment.Run(cfg)
-		if err != nil {
-			return experiment.Summary{}, fmt.Errorf("%s seed %d: %w", t.app, t.seed, err)
-		}
-		return experiment.Summarize(r), nil
-	})
-	if err != nil {
-		return nil, fmt.Errorf("sweep: %w", err)
+	for _, c := range sres.Cells {
+		g := index[[2]string{c.App, c.Variant}]
+		groups[g].Summaries = append(groups[g].Summaries, c.Summary)
 	}
-	for i, t := range tasks {
-		groups[t.group].Summaries = append(groups[t.group].Summaries, summaries[i])
-	}
-	res := &Result{Spec: spec, Seeds: seeds, Groups: groups}
-	return res, nil
+	return &Result{Spec: spec, Seeds: sres.Seeds, Groups: groups}, nil
 }
 
 // columnStat folds one per-run value across a group's trials.

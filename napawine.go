@@ -19,6 +19,7 @@
 package napawine
 
 import (
+	"context"
 	"fmt"
 	"io"
 	"time"
@@ -31,6 +32,7 @@ import (
 	"napawine/internal/report"
 	"napawine/internal/runner"
 	"napawine/internal/scenario"
+	"napawine/internal/study"
 	"napawine/internal/sweep"
 )
 
@@ -145,46 +147,36 @@ type Scale struct {
 	Apps []string
 }
 
+// Battery compiles the Scale into its study: a one-seed grid whose only
+// (potentially) non-trivial axis is the application list. RunAll is a thin
+// adapter over this — same cell order, same per-cell configuration as the
+// pre-study battery, so its output is byte-identical (the golden-digest
+// tests pin this).
+func (s Scale) Battery() *Study {
+	return &Study{
+		Name:       "battery",
+		Apps:       s.Apps,
+		Strategies: []string{s.Strategy},
+		Scenarios:  []StudyScenario{{Name: s.Scenario, Spec: s.ScenarioSpec}},
+		Seeds:      []int64{s.Seed},
+		Duration:   StudyDuration(s.Duration),
+		PeerFactor: s.PeerFactor,
+	}
+}
+
 // RunAll executes the selected applications' experiments in parallel and
 // returns them in the paper's order.
 func RunAll(s Scale) ([]*Result, error) {
-	var scn *ScenarioSpec
-	if s.ScenarioSpec != nil {
-		if err := s.ScenarioSpec.Validate(); err != nil {
-			return nil, err
-		}
-		scn = s.ScenarioSpec
-	} else if s.Scenario != "" {
-		var err error
-		scn, err = ScenarioByName(s.Scenario)
-		if err != nil {
-			return nil, err
-		}
-	}
-	appList := s.Apps
-	if len(appList) == 0 {
-		appList = Apps()
-	}
-	cfgs := make([]Config, 0, len(appList))
-	for _, app := range appList {
-		cfg := experiment.Default(app)
-		if s.Seed != 0 {
-			cfg.Seed = s.Seed
-			cfg.World.Seed = s.Seed
-		}
-		if s.Duration > 0 {
-			cfg.Duration = s.Duration
-		}
-		cfg.ScalePeers(s.PeerFactor)
-		// Sharing the pointer is safe: experiment.Run clones the spec on
-		// entry, so parallel runs never touch the caller's value.
-		cfg.Scenario = scn
-		cfg.Strategy = s.Strategy
-		cfgs = append(cfgs, cfg)
-	}
-	results, err := runner.Parallel(cfgs, s.Workers, experiment.Run)
+	res, err := study.Run(context.Background(), s.Battery(),
+		study.WithWorkers(s.Workers), study.WithFullResults())
 	if err != nil {
 		return nil, err
+	}
+	results := make([]*Result, 0, len(res.Full))
+	for _, r := range res.Full {
+		if r != nil {
+			results = append(results, r)
+		}
 	}
 	experiment.SortResults(results)
 	return results, nil
@@ -209,6 +201,92 @@ type (
 // completes so memory stays bounded by the worker count. The same spec
 // reproduces byte-identical aggregated tables.
 func Sweep(spec SweepSpec) (*SweepResult, error) { return sweep.Run(spec) }
+
+// SweepCtx is Sweep under a context: cancellation aborts the battery
+// promptly and returns ctx.Err(). Study options (e.g. WithObserver) are
+// forwarded to the underlying execution engine.
+func SweepCtx(ctx context.Context, spec SweepSpec, opts ...StudyOption) (*SweepResult, error) {
+	return sweep.RunCtx(ctx, spec, opts...)
+}
+
+// Re-exported study types: the declarative experiment-grid layer that every
+// execution path above the engine now runs through.
+type (
+	// Study is a declarative experiment grid — apps × strategies ×
+	// scenarios × profile variants × seeds — with a strict JSON codec.
+	Study = study.Study
+	// StudyScenario is one scenario-axis cell: a registered name or an
+	// inline timeline.
+	StudyScenario = study.Scenario
+	// StudyVariant is one profile-variant-axis cell.
+	StudyVariant = study.Variant
+	// StudyDuration is a time.Duration that travels through study JSON as
+	// a human-readable string ("5m").
+	StudyDuration = study.Duration
+	// StudyResult holds one executed cell per grid point and pivots
+	// summaries along any axis.
+	StudyResult = study.Result
+	// StudyCell is one executed grid point.
+	StudyCell = study.Cell
+	// StudyAxis names a grid dimension for pivots.
+	StudyAxis = study.Axis
+	// StudyMetric is one per-run number a study can pivot.
+	StudyMetric = study.Metric
+	// StudyObserver receives execution progress and streamed time-series
+	// buckets; callbacks fire concurrently from worker goroutines.
+	StudyObserver = study.Observer
+	// StudyRunInfo identifies one grid cell to an observer.
+	StudyRunInfo = study.RunInfo
+	// StudyOption configures RunStudy.
+	StudyOption = study.Option
+)
+
+// The five study grid axes.
+const (
+	AxisApp      = study.AxisApp
+	AxisStrategy = study.AxisStrategy
+	AxisScenario = study.AxisScenario
+	AxisVariant  = study.AxisVariant
+	AxisSeed     = study.AxisSeed
+)
+
+// RunStudy executes a declarative study under a context: one experiment
+// per grid cell, reduced to bounded summaries as cells complete. When ctx
+// is cancelled mid-battery RunStudy halts in-flight cells promptly, skips
+// unstarted ones, and returns the partial result alongside ctx.Err();
+// completed cells are marked Done and their summaries are well-formed.
+func RunStudy(ctx context.Context, st *Study, opts ...StudyOption) (*StudyResult, error) {
+	return study.Run(ctx, st, opts...)
+}
+
+// WithWorkers bounds a study's parallel cells (0 = GOMAXPROCS).
+func WithWorkers(n int) StudyOption { return study.WithWorkers(n) }
+
+// WithObserver streams per-run progress and per-bucket time series to obs.
+func WithObserver(obs StudyObserver) StudyOption { return study.WithObserver(obs) }
+
+// StudyNames lists the registered studies.
+func StudyNames() []string { return study.Names() }
+
+// StudyByName returns a fresh copy of a registered study.
+func StudyByName(name string) (*Study, error) { return study.ByName(name) }
+
+// LoadStudyFile reads, decodes and validates a JSON study file (see README
+// "Running studies" and examples/studies/).
+func LoadStudyFile(path string) (*Study, error) { return study.LoadFile(path) }
+
+// DecodeStudy parses one JSON study.
+func DecodeStudy(r io.Reader) (*Study, error) { return study.Decode(r) }
+
+// EncodeStudy writes a study as indented JSON; every registered study
+// round-trips through Encode/Decode unchanged.
+func EncodeStudy(w io.Writer, st *Study) error { return study.Encode(w, st) }
+
+// StudyMetrics lists the registered pivot metrics.
+func StudyMetrics() []StudyMetric { return study.Metrics() }
+
+// StudyMetricByKey resolves a registered pivot metric.
+func StudyMetricByKey(key string) (StudyMetric, error) { return study.MetricByKey(key) }
 
 // Seeds builds n sequential trial seeds starting at base, the conventional
 // input for SweepSpec.Seeds.
