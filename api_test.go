@@ -1,6 +1,7 @@
 package napawine_test
 
 import (
+	"reflect"
 	"strings"
 	"testing"
 	"time"
@@ -256,5 +257,73 @@ func TestSummarizeMatchesSingleRunTables(t *testing.T) {
 	}
 	if s.Events != r.Events || s.MeanContinuity != r.MeanContinuity {
 		t.Error("summary health fields diverge from result")
+	}
+}
+
+// TestLeanLedgerPublicRun pins Config.LeanLedger through the public API: a
+// lean run must be observably identical to a full run (same events, same
+// observations, same series) while keeping resident ledger memory O(1) —
+// no per-peer or per-pair maps — and the scenario series O(buckets).
+func TestLeanLedgerPublicRun(t *testing.T) {
+	run := func(lean bool) *napawine.Result {
+		cfg := napawine.DefaultConfig(napawine.PPLive)
+		cfg.Seed = 321
+		cfg.Duration = 60 * time.Second
+		cfg.World.Peers = 60
+		cfg.LeanLedger = lean
+		cfg.Scenario = &napawine.ScenarioSpec{Name: "steady"}
+		r, err := napawine.Run(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		return r
+	}
+	full := run(false)
+	lean := run(true)
+
+	if full.Events != lean.Events {
+		t.Fatalf("lean run diverged: %d events vs %d", lean.Events, full.Events)
+	}
+	if !lean.Ledger.Lean() || full.Ledger.Lean() {
+		t.Fatalf("Lean() flags wrong: lean=%v full=%v", lean.Ledger.Lean(), full.Ledger.Lean())
+	}
+	if lean.Ledger.VideoByPair != nil || lean.Ledger.VideoRx != nil ||
+		lean.Ledger.VideoTx != nil || lean.Ledger.ChunksServed != nil {
+		t.Error("lean ledger allocated per-peer maps")
+	}
+	if lean.Ledger.VideoTotal != full.Ledger.VideoTotal ||
+		lean.Ledger.VideoIntraAS != full.Ledger.VideoIntraAS ||
+		lean.Ledger.SignalTotal != full.Ledger.SignalTotal {
+		t.Error("lean scalar totals diverged from full run")
+	}
+	if lean.MeanContinuity != full.MeanContinuity || lean.VideoBytes != full.VideoBytes {
+		t.Errorf("summary stats diverged: continuity %v vs %v, video %d vs %d",
+			lean.MeanContinuity, full.MeanContinuity, lean.VideoBytes, full.VideoBytes)
+	}
+	// Observations carry NaN fields (DeepEqual-hostile), so compare the
+	// rendered table bytes — the observable contract — instead.
+	if len(lean.Observations) != len(full.Observations) {
+		t.Errorf("observation counts diverged: %d vs %d", len(lean.Observations), len(full.Observations))
+	}
+	render := func(r *napawine.Result) string {
+		var b strings.Builder
+		for _, tab := range []*napawine.Table{
+			napawine.TableII([]*napawine.Result{r}),
+			napawine.TableIV([]*napawine.Result{r}),
+		} {
+			if err := tab.Render(&b); err != nil {
+				t.Fatal(err)
+			}
+		}
+		return b.String()
+	}
+	if render(lean) != render(full) {
+		t.Error("rendered tables diverged between lean and full runs")
+	}
+	if !reflect.DeepEqual(lean.Series, full.Series) {
+		t.Error("series diverged between lean and full runs")
+	}
+	if len(lean.Series) == 0 || len(lean.Series) > 96 {
+		t.Errorf("series has %d buckets, want 1..96 (scenario.MaxBuckets)", len(lean.Series))
 	}
 }

@@ -15,6 +15,7 @@ package napawine_test
 
 import (
 	"io"
+	"os"
 	"sync"
 	"testing"
 	"time"
@@ -198,6 +199,36 @@ func BenchmarkSwarmSimulation(b *testing.B) {
 		r, err := napawine.Run(cfg)
 		if err != nil {
 			b.Fatal(err)
+		}
+		events += r.Events
+	}
+	b.ReportMetric(float64(events)/float64(b.N), "events/run")
+}
+
+// BenchmarkSwarmSimulation100k is the large-swarm smoke: a 10⁵-peer
+// PPLive swarm under a steady scenario, one iteration per -benchtime=1x.
+// At this population the experiment layer auto-enables the lean ledger
+// (LeanLedgerAutoPeers), so resident accounting memory is O(1) scalars
+// plus an O(buckets) series — the benchmark asserts the switch engaged.
+// Gated behind NAPAWINE_LARGE_BENCH because one iteration simulates a
+// hundred thousand peers; the generic -bench=. smoke skips it.
+func BenchmarkSwarmSimulation100k(b *testing.B) {
+	if os.Getenv("NAPAWINE_LARGE_BENCH") == "" {
+		b.Skip("set NAPAWINE_LARGE_BENCH=1 to run the 100k-peer smoke")
+	}
+	var events uint64
+	for i := 0; i < b.N; i++ {
+		cfg := napawine.DefaultConfig(napawine.PPLive)
+		cfg.Seed = int64(i + 1)
+		cfg.Duration = 30 * time.Second
+		cfg.World.Peers = 100_000
+		cfg.Scenario = &napawine.ScenarioSpec{Name: "steady"}
+		r, err := napawine.Run(cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if !r.Ledger.Lean() {
+			b.Fatal("100k-peer run did not auto-enable the lean ledger")
 		}
 		events += r.Events
 	}

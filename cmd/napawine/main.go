@@ -176,6 +176,8 @@ func main() {
 		seeds     = flag.Int("seeds", 1, "trial seeds per app; >1 runs a replicated sweep with ±stderr tables")
 		duration  = flag.Duration("duration", 5*time.Minute, "virtual experiment duration")
 		factor    = flag.Float64("scale", 1.0, "background population scale factor")
+		peers     = flag.Int("peers", 0, "absolute background population (overrides -scale; 0 = per-app default)")
+		leanLed   = flag.Bool("lean-ledger", false, "O(1)-memory ground-truth accounting (auto at very large -peers)")
 		workers   = flag.Int("workers", 0, "parallel experiments (0 = GOMAXPROCS)")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		outPath   = flag.String("out", "", "write tables/CSV to this file instead of stdout")
@@ -191,6 +193,14 @@ func main() {
 	flag.Parse()
 	explicit := map[string]bool{}
 	flag.Visit(func(f *flag.Flag) { explicit[f.Name] = true })
+
+	// One world sizing at a time: an explicit -peers with an explicit
+	// -scale would silently run whichever won inside the study layer.
+	if explicit["peers"] && explicit["scale"] {
+		fmt.Fprintln(os.Stderr, "napawine: -peers and -scale are mutually exclusive")
+		flag.Usage()
+		os.Exit(2)
+	}
 
 	if *listScens {
 		fmt.Print(scenarioList())
@@ -234,7 +244,7 @@ func main() {
 			os.Exit(2)
 		}
 		st := loadStudy(*studyName, *studyFile)
-		applyStudyOverrides(st, *seed, *seeds, *duration, *factor, parseApps(*appsFlag), explicit)
+		applyStudyOverrides(st, *seed, *seeds, *duration, *factor, *peers, *leanLed, parseApps(*appsFlag), explicit)
 		// Re-validate after the overrides and before -out opens: a bad
 		// -apps override (or any axis error) must be a usage error that
 		// leaves a previous run's artifact untouched.
@@ -274,14 +284,26 @@ func main() {
 		return
 	}
 
+	// The study layer rejects a double world sizing; with -peers the
+	// untouched -scale default must not count as one.
+	effFactor := *factor
+	if explicit["peers"] {
+		effFactor = 0
+	}
+
 	if *seeds > 1 {
-		runSweep(appList, *seed, *seeds, *duration, *factor, *workers, *exp, *csv, *scn, fileSpec, *strat, out)
+		runSweep(appList, *seed, *seeds, *duration, effFactor, *peers, *leanLed, *workers, *exp, *csv, *scn, fileSpec, *strat, out)
 		closeOut()
 		return
 	}
 
-	fmt.Fprintf(os.Stderr, "running %s for %v (seed %d, scale %.2f)...\n",
-		strings.Join(appList, ","), *duration, *seed, *factor)
+	if *peers > 0 {
+		fmt.Fprintf(os.Stderr, "running %s for %v (seed %d, %d peers)...\n",
+			strings.Join(appList, ","), *duration, *seed, *peers)
+	} else {
+		fmt.Fprintf(os.Stderr, "running %s for %v (seed %d, scale %.2f)...\n",
+			strings.Join(appList, ","), *duration, *seed, *factor)
+	}
 	if *scn != "" {
 		fmt.Fprintf(os.Stderr, "scenario: %s\n", *scn)
 	}
@@ -293,7 +315,8 @@ func main() {
 	}
 	start := time.Now()
 	results, err := napawine.RunAll(napawine.Scale{
-		Seed: *seed, Duration: *duration, PeerFactor: *factor, Workers: *workers,
+		Seed: *seed, Duration: *duration, PeerFactor: effFactor, Peers: *peers,
+		LeanLedger: *leanLed, Workers: *workers,
 		Scenario: *scn, ScenarioSpec: fileSpec, Strategy: *strat, Apps: appList,
 	})
 	if err != nil {
@@ -413,7 +436,7 @@ func loadStudy(name, file string) *napawine.Study {
 // applyStudyOverrides folds explicitly-set command-line knobs over the
 // study's own, so one registered grid scales from a CI smoke run to the
 // full campaign.
-func applyStudyOverrides(st *napawine.Study, seed int64, trials int, duration time.Duration, factor float64, appList []string, explicit map[string]bool) {
+func applyStudyOverrides(st *napawine.Study, seed int64, trials int, duration time.Duration, factor float64, peers int, leanLedger bool, appList []string, explicit map[string]bool) {
 	if explicit["duration"] {
 		st.Duration = napawine.StudyDuration(duration)
 	}
@@ -427,6 +450,14 @@ func applyStudyOverrides(st *napawine.Study, seed int64, trials int, duration ti
 	}
 	if explicit["scale"] {
 		st.PeerFactor = factor
+		st.Peers = 0
+	}
+	if explicit["peers"] {
+		st.Peers = peers
+		st.PeerFactor = 0
+	}
+	if explicit["lean-ledger"] {
+		st.LeanLedger = leanLedger
 	}
 	if explicit["apps"] {
 		st.Apps = appList
@@ -453,7 +484,7 @@ func runStudy(st *napawine.Study, workers int, csv bool, out io.Writer) {
 // runSweep executes the replicated multi-seed battery and renders the
 // aggregated (mean ± stderr) tables. Figures and the hop sweep are
 // single-run reductions and are not replicated here.
-func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, workers int, exp string, csv bool, scn string, fileSpec *napawine.ScenarioSpec, strat string, out io.Writer) {
+func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, peers int, leanLedger bool, workers int, exp string, csv bool, scn string, fileSpec *napawine.ScenarioSpec, strat string, out io.Writer) {
 	if exp == "fig1" || exp == "fig2" || exp == "hopsweep" {
 		fatal(fmt.Errorf("-exp %s is a single-run reduction; drop -seeds or use -seeds 1", exp))
 	}
@@ -475,6 +506,8 @@ func runSweep(appList []string, seed int64, trials int, duration time.Duration, 
 		Trials:       trials,
 		Duration:     duration,
 		PeerFactor:   factor,
+		Peers:        peers,
+		LeanLedger:   leanLedger,
 		Workers:      workers,
 		Scenario:     scn,
 		ScenarioSpec: fileSpec,

@@ -165,16 +165,27 @@ const PacketPayload = 1250 * units.Byte
 // Packetize splits a transfer of size bytes into MTU-sized packet payloads,
 // last packet possibly short. Size zero yields no packets.
 func Packetize(size units.ByteSize) []units.ByteSize {
+	return PacketizeInto(nil, size)
+}
+
+// PacketizeInto is Packetize writing into dst's capacity, growing it only
+// when too small. Serving loops that packetize the same chunk size on every
+// transfer thread one scratch slice through it instead of allocating per
+// chunk.
+func PacketizeInto(dst []units.ByteSize, size units.ByteSize) []units.ByteSize {
 	if size <= 0 {
 		return nil
 	}
 	n := int((size + PacketPayload - 1) / PacketPayload)
-	out := make([]units.ByteSize, n)
-	for i := 0; i < n-1; i++ {
-		out[i] = PacketPayload
+	if cap(dst) < n {
+		dst = make([]units.ByteSize, n)
 	}
-	out[n-1] = size - units.ByteSize(n-1)*PacketPayload
-	return out
+	dst = dst[:n]
+	for i := 0; i < n-1; i++ {
+		dst[i] = PacketPayload
+	}
+	dst[n-1] = size - units.ByteSize(n-1)*PacketPayload
+	return dst
 }
 
 // Train computes per-packet departure and arrival instants for a burst of
@@ -194,9 +205,25 @@ func Packetize(size units.ByteSize) []units.ByteSize {
 // below the serialization floor, matching real FIFO queues.
 func Train(start sim.Time, sizes []units.ByteSize, up, down units.BitRate,
 	owd time.Duration, jitter *rand.Rand, maxJitter time.Duration) (departs, arrives []sim.Time) {
+	return TrainInto(nil, nil, start, sizes, up, down, owd, jitter, maxJitter)
+}
 
-	departs = make([]sim.Time, len(sizes))
-	arrives = make([]sim.Time, len(sizes))
+// TrainInto is Train writing into the capacity of the two provided slices,
+// growing them only when too small. The chunk-serving hot path reuses one
+// pair of scratch slices per network, which removes the two per-transfer
+// allocations Train itself would make. Jitter draws are identical to
+// Train's, so swapping call styles never shifts the RNG stream.
+func TrainInto(dstDeparts, dstArrives []sim.Time, start sim.Time, sizes []units.ByteSize,
+	up, down units.BitRate, owd time.Duration, jitter *rand.Rand, maxJitter time.Duration) (departs, arrives []sim.Time) {
+
+	if cap(dstDeparts) < len(sizes) {
+		dstDeparts = make([]sim.Time, len(sizes))
+	}
+	if cap(dstArrives) < len(sizes) {
+		dstArrives = make([]sim.Time, len(sizes))
+	}
+	departs = dstDeparts[:len(sizes)]
+	arrives = dstArrives[:len(sizes)]
 	bottleneck := up
 	if down < bottleneck {
 		bottleneck = down

@@ -276,11 +276,78 @@ func TestTableIProfiles(t *testing.T) {
 	}
 }
 
+// BenchmarkTrain48KB measures the steady-state transfer hot path the
+// simulator runs per served chunk: TrainInto refilling caller-owned
+// scratch, as overlay.serveChunk does. Allocates only on the first
+// iteration.
 func BenchmarkTrain48KB(b *testing.B) {
-	sizes := Packetize(48 * units.KB)
+	sizes := PacketizeInto(nil, 48*units.KB)
 	rng := rand.New(rand.NewSource(1))
+	var departs, arrives []sim.Time
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		Train(0, sizes, 100*units.Mbps, 100*units.Mbps, 20*time.Millisecond, rng, time.Millisecond)
+		departs, arrives = TrainInto(departs, arrives, 0, sizes,
+			100*units.Mbps, 100*units.Mbps, 20*time.Millisecond, rng, time.Millisecond)
+	}
+}
+
+// TestTrainIntoReusesScratch pins the scratch contract: refilling dirty
+// caller-owned slices yields exactly what a fresh Train call computes, and
+// large-enough scratch is reused in place rather than reallocated.
+func TestTrainIntoReusesScratch(t *testing.T) {
+	sizes := PacketizeInto(nil, 48*units.KB)
+	wantDep, wantArr := Train(100, sizes, 10*units.Mbps, 6*units.Mbps,
+		30*time.Millisecond, rand.New(rand.NewSource(7)), 2*time.Millisecond)
+
+	dirty := func(n int) []sim.Time {
+		s := make([]sim.Time, n)
+		for i := range s {
+			s[i] = sim.Time(-1)
+		}
+		return s
+	}
+	dep, arr := dirty(len(sizes)+5), dirty(len(sizes)+5)
+	depBase, arrBase := &dep[0], &arr[0]
+	gotDep, gotArr := TrainInto(dep, arr, 100, sizes, 10*units.Mbps, 6*units.Mbps,
+		30*time.Millisecond, rand.New(rand.NewSource(7)), 2*time.Millisecond)
+
+	if len(gotDep) != len(wantDep) || len(gotArr) != len(wantArr) {
+		t.Fatalf("lengths differ: got %d/%d, want %d/%d", len(gotDep), len(gotArr), len(wantDep), len(wantArr))
+	}
+	for i := range wantDep {
+		if gotDep[i] != wantDep[i] || gotArr[i] != wantArr[i] {
+			t.Fatalf("packet %d differs: got (%v, %v), want (%v, %v)", i, gotDep[i], gotArr[i], wantDep[i], wantArr[i])
+		}
+	}
+	if &gotDep[0] != depBase || &gotArr[0] != arrBase {
+		t.Error("TrainInto reallocated despite sufficient scratch capacity")
+	}
+
+	// Undersized scratch must grow, not truncate.
+	gotDep, gotArr = TrainInto(make([]sim.Time, 0, 1), nil, 100, sizes, 10*units.Mbps, 6*units.Mbps,
+		30*time.Millisecond, rand.New(rand.NewSource(7)), 2*time.Millisecond)
+	for i := range wantDep {
+		if gotDep[i] != wantDep[i] || gotArr[i] != wantArr[i] {
+			t.Fatalf("grown scratch packet %d differs", i)
+		}
+	}
+}
+
+// TestPacketizeIntoReusesScratch pins the same contract for PacketizeInto.
+func TestPacketizeIntoReusesScratch(t *testing.T) {
+	want := Packetize(48 * units.KB)
+	scratch := make([]units.ByteSize, 64)
+	base := &scratch[0]
+	got := PacketizeInto(scratch, 48*units.KB)
+	if len(got) != len(want) {
+		t.Fatalf("len = %d, want %d", len(got), len(want))
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("packet %d = %v, want %v", i, got[i], want[i])
+		}
+	}
+	if &got[0] != base {
+		t.Error("PacketizeInto reallocated despite sufficient scratch capacity")
 	}
 }

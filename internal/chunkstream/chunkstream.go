@@ -77,6 +77,16 @@ func NewBufferMap(base ChunkID, window int) *BufferMap {
 	return &BufferMap{base: base, window: window, bits: make([]uint64, (window+63)/64)}
 }
 
+// Reset re-aims an existing map at [base, base+window) with nothing held,
+// reusing the bitfield allocation. It is how the overlay recycles buffer
+// maps across join/leave episodes instead of allocating one per join.
+func (m *BufferMap) Reset(base ChunkID) {
+	m.base = base
+	for i := range m.bits {
+		m.bits[i] = 0
+	}
+}
+
 // Base reports the lowest chunk id the window covers.
 func (m *BufferMap) Base() ChunkID { return m.base }
 
@@ -229,6 +239,10 @@ type Playout struct {
 
 // NewPlayout starts the decoder wanting chunk first.
 func NewPlayout(first ChunkID) *Playout { return &Playout{next: first} }
+
+// Reset restarts the tracker at chunk first with zeroed continuity
+// counters, reusing the allocation across join/leave episodes.
+func (p *Playout) Reset(first ChunkID) { *p = Playout{next: first} }
 
 // Next reports the chunk the decoder is waiting for.
 func (p *Playout) Next() ChunkID { return p.next }

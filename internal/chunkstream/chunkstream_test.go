@@ -315,3 +315,40 @@ func BenchmarkMissing(b *testing.B) {
 		_ = m.Missing(0, 512)
 	}
 }
+
+func TestBufferMapReset(t *testing.T) {
+	m := NewBufferMap(0, 100)
+	for i := 0; i < 100; i += 2 {
+		m.Set(ChunkID(i))
+	}
+	m.Reset(500)
+	if m.Base() != 500 {
+		t.Errorf("Base = %d after Reset, want 500", m.Base())
+	}
+	if m.Window() != 100 {
+		t.Errorf("Window = %d after Reset, want 100", m.Window())
+	}
+	if m.Count() != 0 {
+		t.Errorf("Count = %d after Reset, want 0 (stale bits survived)", m.Count())
+	}
+	if !m.Set(550) || !m.Has(550) {
+		t.Error("Set/Has broken after Reset")
+	}
+}
+
+func TestPlayoutReset(t *testing.T) {
+	m := NewBufferMap(0, 100)
+	m.Set(0)
+	p := NewPlayout(0)
+	p.CatchUp(m, 3) // 1 delivered, 2 missed
+	p.Reset(42)
+	if p.Next() != 42 {
+		t.Errorf("Next = %d after Reset, want 42", p.Next())
+	}
+	if p.Delivered() != 0 || p.Missed() != 0 {
+		t.Errorf("counters survived Reset: delivered=%d missed=%d", p.Delivered(), p.Missed())
+	}
+	if p.Continuity() != 1 {
+		t.Errorf("Continuity = %v after Reset, want 1", p.Continuity())
+	}
+}

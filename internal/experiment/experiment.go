@@ -69,6 +69,14 @@ type Config struct {
 	JitterMax     time.Duration
 	UplinkBusyCap time.Duration
 
+	// LeanLedger drops the overlay ledger's per-peer and per-pair maps,
+	// keeping only swarm-wide totals — the setting that takes resident
+	// metric memory from O(peers) to O(1) and makes 10⁵-peer worlds fit.
+	// Every figure Result reports comes from the totals, so the switch
+	// changes memory, never results. It turns itself on automatically at
+	// LeanLedgerAutoPeers and beyond.
+	LeanLedger bool
+
 	// Background churn (probes never churn, like the testbed).
 	ChurnMeanOn  time.Duration
 	ChurnMeanOff time.Duration
@@ -121,7 +129,6 @@ func Default(app string) Config {
 		HighBwFraction:    0.70,
 		NATFraction:       0.25,
 		FWFraction:        0.05,
-		SubnetsPerAS:      3,
 		ProbeASBackground: 8,
 	}
 	switch app {
@@ -136,6 +143,12 @@ func Default(app string) Config {
 	}
 	return cfg
 }
+
+// LeanLedgerAutoPeers is the total population (background plus scenario
+// extras) at which a run switches to the lean ledger on its own: below it,
+// per-peer ground truth is cheap and handy for debugging; at and above it,
+// the maps are the dominant resident allocation and nothing reads them.
+const LeanLedgerAutoPeers = 20000
 
 // ScalePeers scales the background population by factor (<= 0 leaves the
 // default), flooring at 50 peers so a tiny factor still yields a viable
@@ -185,9 +198,10 @@ func (c *Config) fillDefaults() {
 	if c.Contrib.MinBytes == 0 {
 		c.Contrib = core.DefaultContrib
 	}
-	if c.World.SubnetsPerAS == 0 {
-		c.World.SubnetsPerAS = 3
-	}
+	// World.SubnetsPerAS stays 0 here on purpose: world.Build sizes the
+	// address space from the final population (3 for small worlds, larger
+	// for 10⁵-peer swarms), and Peers/ExtraPeers may still change after
+	// fillDefaults (ScalePeers, scenario ExtraPeerFactor).
 	if c.World.Seed == 0 {
 		c.World.Seed = c.Seed
 	}
@@ -320,6 +334,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 
 	eng := sim.New(cfg.Seed)
 	cal := chunkstream.NewCalendar(apps.StreamRate, 48*units.KB)
+	lean := cfg.LeanLedger || cfg.World.Peers+cfg.World.ExtraPeers >= LeanLedgerAutoPeers
 	net := overlay.New(eng, w.Topo, overlay.Config{
 		Calendar:      cal,
 		BufferWindow:  cfg.BufferWindow,
@@ -327,6 +342,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		ContactFanout: cfg.ContactFanout,
 		JitterMax:     cfg.JitterMax,
 		UplinkBusyCap: cfg.UplinkBusyCap,
+		LeanLedger:    lean,
 	})
 
 	source := net.AddSource(w.SourceHost, w.SourceLink, prof)

@@ -41,6 +41,25 @@ type pendingReq struct {
 	sentAt sim.Time
 }
 
+// idEntry is one element of the id-ordered partner index. The sort key
+// rides inline next to the pointer (struct-of-arrays style): the index's
+// hot loops — insertion scans, dead-partner sweeps — touch only the id and
+// stay within the entry slice instead of chasing a pointer per comparison.
+type idEntry struct {
+	id PeerID
+	p  *partner
+}
+
+// reqEntry is one element of the weight-ordered request index, with both
+// sort keys (cached request weight, then id) inline for the same reason.
+// w duplicates p.reqW and is refreshed whenever rescore repositions the
+// partner.
+type reqEntry struct {
+	w  float64
+	id PeerID
+	p  *partner
+}
+
 // Node is one peer in the swarm.
 type Node struct {
 	net     *Network
@@ -61,7 +80,7 @@ type Node struct {
 	// order is randomized per run, and leaking it into the event sequence
 	// would break seed-reproducibility. Maintained incrementally on
 	// partner add/drop; never rebuilt.
-	byID []*partner
+	byID []idEntry
 	// byReq is the same set ordered by (cached request weight descending,
 	// peer id ascending): the weight-ordered partner index. Its head is
 	// the greedy scheduler's best partner. Maintained incrementally on
@@ -70,12 +89,18 @@ type Node struct {
 	// cached retain weights: retain order generally differs from request
 	// order, and a full second index would cost more to maintain than the
 	// O(partners) scan it replaces.
-	byReq     []*partner
+	byReq     []reqEntry
 	neighbors []PeerID // contacted, remembered for keepalives (bounded)
 	inflight  map[chunkstream.ChunkID]pendingReq
 	// rateMemory persists per-remote delivery-rate estimates across
 	// partnership episodes within one session.
 	rateMemory map[PeerID]units.BitRate
+	// partnerPool recycles partner structs (and their buffer maps) across
+	// partnership episodes: partner churn runs for the whole experiment,
+	// and without the pool every add allocated a partner, a BufferMap and
+	// its bitfield. Pooled structs keep only their have-map allocation;
+	// all other state is re-initialized on reuse.
+	partnerPool []*partner
 
 	// Per-node scratch buffers: the selection hot path (scheduler ticks,
 	// chunk requests, partner churn) runs entirely inside these, so
@@ -180,17 +205,31 @@ func (nd *Node) Join() {
 	if base < 0 {
 		base = 0
 	}
-	nd.buf = chunkstream.NewBufferMap(base, nd.net.Cfg.BufferWindow)
+	// Re-arm the session's episode state in place: buffer map, playout
+	// tracker and the two maps are recycled across join/leave cycles, so a
+	// node that flaps for the whole experiment allocates its hot state once.
+	// Neither map is ever ranged un-sorted into RNG- or event-visible work,
+	// so reuse cannot leak map iteration order into the deterministic
+	// schedule.
+	if nd.buf == nil {
+		nd.buf = chunkstream.NewBufferMap(base, nd.net.Cfg.BufferWindow)
+	} else {
+		nd.buf.Reset(base)
+	}
 	start := live - chunkstream.ChunkID(nd.Profile.PullDelay)
 	if start < 0 {
 		start = 0
 	}
-	nd.play = chunkstream.NewPlayout(start)
-	nd.inflight = make(map[chunkstream.ChunkID]pendingReq)
-	nd.partners = make(map[PeerID]*partner)
+	if nd.play == nil {
+		nd.play = chunkstream.NewPlayout(start)
+	} else {
+		nd.play.Reset(start)
+	}
+	clear(nd.inflight)
+	clear(nd.partners)
 	nd.byID = nd.byID[:0]
 	nd.byReq = nd.byReq[:0]
-	nd.neighbors = nil
+	nd.neighbors = nd.neighbors[:0]
 	if nd.rateMemory == nil {
 		nd.rateMemory = make(map[PeerID]units.BitRate)
 	}
@@ -228,10 +267,15 @@ func (nd *Node) Leave() {
 		c()
 	}
 	nd.cancels = nil
-	nd.partners = make(map[PeerID]*partner)
+	// Recycle every partner episode and empty the maps in place; the next
+	// Join reuses all of it.
+	for i := range nd.byID {
+		nd.recyclePartner(nd.byID[i].p)
+	}
+	clear(nd.partners)
 	nd.byID = nd.byID[:0]
 	nd.byReq = nd.byReq[:0]
-	nd.inflight = make(map[chunkstream.ChunkID]pendingReq)
+	clear(nd.inflight)
 }
 
 // Retire takes the node offline for good: the viewer switched the program
@@ -370,20 +414,21 @@ func (nd *Node) infoFor(other *Node) policy.Info {
 
 // indexInsert places a freshly added partner into both orders.
 func (nd *Node) indexInsert(p *partner) {
+	id := p.node.ID
 	i := 0
-	for i < len(nd.byID) && nd.byID[i].node.ID < p.node.ID {
+	for i < len(nd.byID) && nd.byID[i].id < id {
 		i++
 	}
-	nd.byID = append(nd.byID, nil)
+	nd.byID = append(nd.byID, idEntry{})
 	copy(nd.byID[i+1:], nd.byID[i:])
-	nd.byID[i] = p
+	nd.byID[i] = idEntry{id: id, p: p}
 	nd.byReqInsert(p)
 }
 
 // indexRemove takes a departing partner out of both orders.
 func (nd *Node) indexRemove(p *partner) {
-	for i, q := range nd.byID {
-		if q == p {
+	for i := range nd.byID {
+		if nd.byID[i].p == p {
 			nd.byID = append(nd.byID[:i], nd.byID[i+1:]...)
 			break
 		}
@@ -400,27 +445,28 @@ func (nd *Node) indexRemove(p *partner) {
 // later-inserted partners behind a NaN and break the descending
 // invariant bestPartner's early exit relies on.
 func (nd *Node) byReqInsert(p *partner) {
-	pNaN := math.IsNaN(p.reqW)
+	w, id := p.reqW, p.node.ID
+	pNaN := math.IsNaN(w)
 	i := 0
 	for i < len(nd.byReq) {
-		q := nd.byReq[i]
-		if qNaN := math.IsNaN(q.reqW); qNaN {
-			if !pNaN || q.node.ID > p.node.ID {
+		q := &nd.byReq[i]
+		if qNaN := math.IsNaN(q.w); qNaN {
+			if !pNaN || q.id > id {
 				break
 			}
-		} else if !pNaN && (q.reqW < p.reqW || (q.reqW == p.reqW && q.node.ID > p.node.ID)) {
+		} else if !pNaN && (q.w < w || (q.w == w && q.id > id)) {
 			break
 		}
 		i++
 	}
-	nd.byReq = append(nd.byReq, nil)
+	nd.byReq = append(nd.byReq, reqEntry{})
 	copy(nd.byReq[i+1:], nd.byReq[i:])
-	nd.byReq[i] = p
+	nd.byReq[i] = reqEntry{w: w, id: id, p: p}
 }
 
 func (nd *Node) byReqRemove(p *partner) {
-	for i, q := range nd.byReq {
-		if q == p {
+	for i := range nd.byReq {
+		if nd.byReq[i].p == p {
 			nd.byReq = append(nd.byReq[:i], nd.byReq[i+1:]...)
 			return
 		}
@@ -489,16 +535,41 @@ func (nd *Node) addPartner(other *Node) {
 	if nd.rateMemory != nil {
 		info.EstRate = nd.rateMemory[other.ID]
 	}
-	p := &partner{
-		node: other,
-		have: chunkstream.NewBufferMap(0, nd.net.Cfg.BufferWindow),
-		info: info,
-	}
+	p := nd.newPartner(other, info)
 	// Locality facts are settled for good at partnership formation; this
 	// is the once-per-pair weighing the selection loops reuse from here on.
 	p.reqW, p.retW = policy.Score(nd.Profile.RequestWeight, nd.Profile.RetainWeight, info)
 	nd.partners[other.ID] = p
 	nd.indexInsert(p)
+}
+
+// newPartner takes a recycled partner struct from the pool (resetting its
+// have-map in place) or allocates a fresh one on first use.
+func (nd *Node) newPartner(other *Node, info policy.Info) *partner {
+	var p *partner
+	if n := len(nd.partnerPool); n > 0 {
+		p = nd.partnerPool[n-1]
+		nd.partnerPool[n-1] = nil
+		nd.partnerPool = nd.partnerPool[:n-1]
+		p.have.Reset(0)
+	} else {
+		p = &partner{have: chunkstream.NewBufferMap(0, nd.net.Cfg.BufferWindow)}
+	}
+	p.node = other
+	p.info = info
+	p.failures = 0
+	return p
+}
+
+// recyclePartner returns a partner struct to the pool. Only the have-map
+// allocation is worth keeping; everything else is dropped so a pooled
+// struct cannot pin a departed node.
+func (nd *Node) recyclePartner(p *partner) {
+	p.node = nil
+	p.info = policy.Info{}
+	p.reqW, p.retW = 0, 0
+	p.failures = 0
+	nd.partnerPool = append(nd.partnerPool, p)
 }
 
 func (nd *Node) dropPartner(id PeerID) {
@@ -517,6 +588,7 @@ func (nd *Node) removePartner(id PeerID) {
 	}
 	delete(nd.partners, id)
 	nd.indexRemove(p)
+	nd.recyclePartner(p)
 }
 
 func (nd *Node) rememberNeighbor(id PeerID) {
@@ -589,9 +661,9 @@ func (nd *Node) contactTick() {
 // keeps the iteration off the live index while it mutates.
 func (nd *Node) dropDeadPartners() {
 	nd.dropIDs = nd.dropIDs[:0]
-	for _, p := range nd.byID {
-		if !p.node.online {
-			nd.dropIDs = append(nd.dropIDs, p.node.ID)
+	for i := range nd.byID {
+		if !nd.byID[i].p.node.online {
+			nd.dropIDs = append(nd.dropIDs, nd.byID[i].id)
 		}
 	}
 	for _, id := range nd.dropIDs {
@@ -610,10 +682,10 @@ func (nd *Node) signalingTick() {
 		var base chunkstream.ChunkID
 		base, nd.snapBits = nd.buf.SnapshotInto(nd.snapBits)
 		size := nd.buf.WireSize() + 40 // header overhead
-		for _, p := range nd.byID {
-			nd.net.sendSignal(nd, p.node, size)
+		for _, en := range nd.byID {
+			nd.net.sendSignal(nd, en.p.node, size)
 			// The partner learns our holdings.
-			if remote, ok := p.node.partners[nd.ID]; ok {
+			if remote, ok := en.p.node.partners[nd.ID]; ok {
 				remote.have.LoadSnapshot(base, nd.snapBits)
 			}
 		}
@@ -642,8 +714,8 @@ func (nd *Node) churnTick() {
 	nd.dropDeadPartners()
 	if len(nd.partners) >= nd.Profile.PartnerTarget {
 		nd.scorer.Reset()
-		for _, p := range nd.byID {
-			nd.scorer.PushScored(policy.Candidate{Index: int(p.node.ID), Info: p.info}, p.retW)
+		for _, en := range nd.byID {
+			nd.scorer.PushScored(policy.Candidate{Index: int(en.id), Info: en.p.info}, en.p.retW)
 		}
 		worst := nd.scorer.Worst()
 		if worst.Index >= 0 {
@@ -706,7 +778,7 @@ func (nd *Node) scheduleTick() {
 	for _, id := range nd.expired {
 		req := nd.inflight[id]
 		delete(nd.inflight, id)
-		nd.net.Ledger.Timeouts[nd.ID]++
+		nd.net.Ledger.timeout(nd.ID)
 		if pr, ok := nd.partners[req.from]; ok {
 			pr.failures++
 			pr.info.EstRate /= 2 // stale partner loses standing
@@ -802,7 +874,8 @@ func (nd *Node) scheduleTick() {
 // rarity signal consumed by holder-aware chunk strategies.
 func (nd *Node) countHolders(id chunkstream.ChunkID, now sim.Time) int {
 	n := 0
-	for _, p := range nd.byID {
+	for _, en := range nd.byID {
+		p := en.p
 		if !p.node.online {
 			continue
 		}
@@ -818,12 +891,13 @@ func (nd *Node) countHolders(id chunkstream.ChunkID, now sim.Time) int {
 // entry of the weight-ordered index. Ties sit in the index lowest-id
 // first, preserving the historical deterministic tie-break.
 func (nd *Node) bestPartner() *partner {
-	for _, p := range nd.byReq {
-		if !p.node.online || p.node.isSource {
+	for i := range nd.byReq {
+		en := &nd.byReq[i]
+		if !en.p.node.online || en.p.node.isSource {
 			continue
 		}
-		if p.reqW > 0 {
-			return p
+		if en.w > 0 {
+			return en.p
 		}
 		// Weights only descend from here (NaNs sink to the tail); nothing
 		// selectable remains.
@@ -838,7 +912,8 @@ func (nd *Node) bestPartner() *partner {
 func (nd *Node) requestChunk(id chunkstream.ChunkID, now sim.Time) bool {
 	nd.scorer.Reset()
 	nd.reqOrder = nd.reqOrder[:0]
-	for _, p := range nd.byID {
+	for _, en := range nd.byID {
+		p := en.p
 		if !p.node.online {
 			continue
 		}

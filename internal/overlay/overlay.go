@@ -127,6 +127,14 @@ type Config struct {
 	// requests instead of queueing them; rejections are what steer
 	// requesters toward fast peers.
 	UplinkBusyCap time.Duration
+	// LeanLedger drops the ledger's per-peer and per-pair maps, keeping
+	// only the swarm-wide scalar totals. Per-peer ground truth grows
+	// O(peers) — and VideoByPair O(peers²) in the worst case — which is
+	// what pins resident memory at 10⁵-peer scale; every result the
+	// experiment layer reports comes from the scalars. Accounting calls
+	// are identical either way, so the event and RNG sequence — and with
+	// them the golden digests — do not depend on this switch.
+	LeanLedger bool
 }
 
 func (c *Config) validate() {
@@ -180,7 +188,13 @@ func MakePairKey(a, b PeerID) PairKey {
 // inference; tests and EXPERIMENTS.md use it to validate what the passive
 // methodology recovered.
 type Ledger struct {
-	// VideoByPair counts video payload bytes per directed pair.
+	// lean drops every map below, leaving only scalar totals; the
+	// accumulation methods gate their map writes on it. See
+	// Config.LeanLedger.
+	lean bool
+
+	// VideoByPair counts video payload bytes per directed pair. Nil in
+	// lean mode, like every map here.
 	VideoByPair map[[2]PeerID]int64
 	// Totals per node.
 	VideoRx, VideoTx   map[PeerID]int64
@@ -188,6 +202,13 @@ type Ledger struct {
 	ChunksServed       map[PeerID]int64
 	Rejections         map[PeerID]int64
 	Timeouts           map[PeerID]int64
+
+	// Swarm-wide totals mirroring the sums of the maps above, maintained
+	// in both modes so lean runs still report aggregate health.
+	SignalTotal       int64
+	ChunksServedTotal int64
+	RejectionsTotal   int64
+	TimeoutsTotal     int64
 
 	// Running swarm-wide video totals, split by whether the transfer stayed
 	// inside one AS. Time-series samplers difference these between buckets
@@ -211,7 +232,10 @@ type Ledger struct {
 	SourceVideoTx int64
 }
 
-func newLedger() *Ledger {
+func newLedger(lean bool) *Ledger {
+	if lean {
+		return &Ledger{lean: true}
+	}
 	return &Ledger{
 		VideoByPair:  make(map[[2]PeerID]int64),
 		VideoRx:      make(map[PeerID]int64),
@@ -224,10 +248,15 @@ func newLedger() *Ledger {
 	}
 }
 
+// Lean reports whether per-peer and per-pair accounting is disabled.
+func (l *Ledger) Lean() bool { return l.lean }
+
 func (l *Ledger) video(from, to PeerID, n int64, sameAS bool) {
-	l.VideoByPair[[2]PeerID{from, to}] += n
-	l.VideoTx[from] += n
-	l.VideoRx[to] += n
+	if !l.lean {
+		l.VideoByPair[[2]PeerID{from, to}] += n
+		l.VideoTx[from] += n
+		l.VideoRx[to] += n
+	}
 	l.VideoTotal += n
 	if sameAS {
 		l.VideoIntraAS += n
@@ -235,8 +264,32 @@ func (l *Ledger) video(from, to PeerID, n int64, sameAS bool) {
 }
 
 func (l *Ledger) signal(from, to PeerID, n int64) {
-	l.SignalTx[from] += n
-	l.SignalRx[to] += n
+	if !l.lean {
+		l.SignalTx[from] += n
+		l.SignalRx[to] += n
+	}
+	l.SignalTotal += n
+}
+
+func (l *Ledger) chunkServed(id PeerID) {
+	if !l.lean {
+		l.ChunksServed[id]++
+	}
+	l.ChunksServedTotal++
+}
+
+func (l *Ledger) rejection(id PeerID) {
+	if !l.lean {
+		l.Rejections[id]++
+	}
+	l.RejectionsTotal++
+}
+
+func (l *Ledger) timeout(id PeerID) {
+	if !l.lean {
+		l.Timeouts[id]++
+	}
+	l.TimeoutsTotal++
 }
 
 // Network owns every node of one emulated swarm.
@@ -259,12 +312,21 @@ type Network struct {
 	// allocation-free. Callers must not retain the returned slice.
 	sampleOut  []*Node
 	sampleSeen []PeerID
+
+	// Chunk-serve scratch (transfer.go): one packetization of the
+	// network's constant chunk size plus the per-transfer packet-train
+	// instants. serveChunk runs to completion inside a single event and
+	// hands only scalars to the delivery callback, so the buffers are
+	// free again before any other transfer can start.
+	trainSizes   []units.ByteSize
+	trainDeparts []sim.Time
+	trainArrives []sim.Time
 }
 
 // New builds an empty network on the given engine and topology.
 func New(eng *sim.Engine, topo *topology.Topology, cfg Config) *Network {
 	cfg.validate()
-	return &Network{Eng: eng, Topo: topo, Cfg: cfg, Ledger: newLedger()}
+	return &Network{Eng: eng, Topo: topo, Cfg: cfg, Ledger: newLedger(cfg.LeanLedger)}
 }
 
 // Nodes returns all nodes ever added, in creation order.

@@ -61,6 +61,11 @@ type world struct {
 
 func buildWorld(t testing.TB, seed int64, nPeers int, slowEvery int) *world {
 	t.Helper()
+	return buildWorldCfg(t, seed, nPeers, slowEvery, testConfig())
+}
+
+func buildWorldCfg(t testing.TB, seed int64, nPeers int, slowEvery int, cfg Config) *world {
+	t.Helper()
 	b := topology.NewBuilder(seed)
 	b.AddCountry("CN", topology.Asia)
 	b.AddCountry("IT", topology.Europe)
@@ -75,7 +80,7 @@ func buildWorld(t testing.TB, seed int64, nPeers int, slowEvery int) *world {
 	}
 	topo := b.Build()
 	eng := sim.New(seed)
-	net := New(eng, topo, testConfig())
+	net := New(eng, topo, cfg)
 
 	srcHost, err := topo.NewHost(subs[0])
 	if err != nil {
@@ -685,4 +690,85 @@ func TestSetChurnScaleRejectsNonPositive(t *testing.T) {
 		}
 	}()
 	w.peers[0].SetChurnScale(0)
+}
+
+// TestLeanLedgerMatchesFullRun pins the Config.LeanLedger contract: lean
+// accounting must not perturb the simulation (the accumulation methods
+// touch no RNG and schedule nothing, so a lean run with the same seed
+// processes the identical event sequence), every per-peer and per-pair map
+// must stay nil, and the swarm-wide scalars a lean run keeps must equal
+// the sums of the maps a full run maintains.
+func TestLeanLedgerMatchesFullRun(t *testing.T) {
+	run := func(lean bool) (*world, uint64) {
+		cfg := testConfig()
+		cfg.LeanLedger = lean
+		w := buildWorldCfg(t, 7, 20, 3, cfg)
+		w.startAll()
+		w.eng.Run(60 * time.Second)
+		return w, w.eng.Processed()
+	}
+	full, fullEvents := run(false)
+	lean, leanEvents := run(true)
+
+	if fullEvents != leanEvents {
+		t.Fatalf("lean run diverged: %d events vs %d", leanEvents, fullEvents)
+	}
+	fl, ll := full.net.Ledger, lean.net.Ledger
+	if fl.Lean() || !ll.Lean() {
+		t.Fatalf("Lean() flags wrong: full=%v lean=%v", fl.Lean(), ll.Lean())
+	}
+
+	// Scalars must be identical across modes.
+	type scalars struct {
+		video, intra, signal, served, rej, to, dchunks, srcTx int64
+		dsum                                                  time.Duration
+	}
+	get := func(l *Ledger) scalars {
+		return scalars{l.VideoTotal, l.VideoIntraAS, l.SignalTotal,
+			l.ChunksServedTotal, l.RejectionsTotal, l.TimeoutsTotal,
+			l.DiffusionChunks, l.SourceVideoTx, l.DiffusionDelaySum}
+	}
+	if get(fl) != get(ll) {
+		t.Errorf("scalar totals diverged:\n full %+v\n lean %+v", get(fl), get(ll))
+	}
+	if ll.VideoTotal == 0 || ll.ChunksServedTotal == 0 {
+		t.Error("lean run moved no video; totals not exercised")
+	}
+
+	// Lean mode allocates no maps at all.
+	if ll.VideoByPair != nil || ll.VideoRx != nil || ll.VideoTx != nil ||
+		ll.SignalRx != nil || ll.SignalTx != nil || ll.ChunksServed != nil ||
+		ll.Rejections != nil || ll.Timeouts != nil {
+		t.Error("lean ledger allocated per-peer maps")
+	}
+
+	// Full-mode maps sum to the scalars both modes maintain.
+	sum := func(m map[PeerID]int64) int64 {
+		var s int64
+		for _, v := range m {
+			s += v
+		}
+		return s
+	}
+	var pairSum int64
+	for _, v := range fl.VideoByPair {
+		pairSum += v
+	}
+	if pairSum != fl.VideoTotal || sum(fl.VideoRx) != fl.VideoTotal || sum(fl.VideoTx) != fl.VideoTotal {
+		t.Errorf("video maps disagree with VideoTotal=%d: pair=%d rx=%d tx=%d",
+			fl.VideoTotal, pairSum, sum(fl.VideoRx), sum(fl.VideoTx))
+	}
+	if sum(fl.SignalRx) != fl.SignalTotal || sum(fl.SignalTx) != fl.SignalTotal {
+		t.Errorf("signal maps disagree with SignalTotal=%d: rx=%d tx=%d",
+			fl.SignalTotal, sum(fl.SignalRx), sum(fl.SignalTx))
+	}
+	if sum(fl.ChunksServed) != fl.ChunksServedTotal {
+		t.Errorf("ChunksServed sums to %d, total %d", sum(fl.ChunksServed), fl.ChunksServedTotal)
+	}
+	if sum(fl.Rejections) != fl.RejectionsTotal {
+		t.Errorf("Rejections sums to %d, total %d", sum(fl.Rejections), fl.RejectionsTotal)
+	}
+	if sum(fl.Timeouts) != fl.TimeoutsTotal {
+		t.Errorf("Timeouts sums to %d, total %d", sum(fl.Timeouts), fl.TimeoutsTotal)
+	}
 }

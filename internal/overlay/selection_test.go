@@ -23,24 +23,38 @@ func TestPartnerIndexStaysConsistent(t *testing.T) {
 			t.Fatalf("node %d: index sizes %d/%d vs %d partners",
 				nd.ID, len(nd.byID), len(nd.byReq), len(nd.partners))
 		}
-		for i, p := range nd.byID {
-			if got, ok := nd.partners[p.node.ID]; !ok || got != p {
-				t.Fatalf("node %d: byID entry %d not in partner map", nd.ID, p.node.ID)
+		for i, en := range nd.byID {
+			p := en.p
+			if en.id != p.node.ID {
+				t.Fatalf("node %d: byID entry carries id %d for partner %d", nd.ID, en.id, p.node.ID)
 			}
-			if i > 0 && nd.byID[i-1].node.ID >= p.node.ID {
+			if got, ok := nd.partners[en.id]; !ok || got != p {
+				t.Fatalf("node %d: byID entry %d not in partner map", nd.ID, en.id)
+			}
+			if i > 0 && nd.byID[i-1].id >= en.id {
 				t.Fatalf("node %d: byID out of order at %d", nd.ID, i)
 			}
 			wantReq, wantRet := policy.Score(nd.Profile.RequestWeight, nd.Profile.RetainWeight, p.info)
 			if p.reqW != wantReq || p.retW != wantRet {
 				t.Fatalf("node %d: partner %d cached weights (%v,%v) stale, want (%v,%v)",
-					nd.ID, p.node.ID, p.reqW, p.retW, wantReq, wantRet)
+					nd.ID, en.id, p.reqW, p.retW, wantReq, wantRet)
 			}
 		}
-		for i := 1; i < len(nd.byReq); i++ {
-			a, b := nd.byReq[i-1], nd.byReq[i]
-			if a.reqW < b.reqW || (a.reqW == b.reqW && a.node.ID > b.node.ID) {
+		for i, en := range nd.byReq {
+			if en.w != en.p.reqW && !(math.IsNaN(en.w) && math.IsNaN(en.p.reqW)) {
+				t.Fatalf("node %d: byReq entry %d inline weight %v, partner caches %v",
+					nd.ID, i, en.w, en.p.reqW)
+			}
+			if en.id != en.p.node.ID {
+				t.Fatalf("node %d: byReq entry carries id %d for partner %d", nd.ID, en.id, en.p.node.ID)
+			}
+			if i == 0 {
+				continue
+			}
+			a := nd.byReq[i-1]
+			if a.w < en.w || (a.w == en.w && a.id > en.id) {
 				t.Fatalf("node %d: byReq out of order at %d: (%v,%d) before (%v,%d)",
-					nd.ID, i, a.reqW, a.node.ID, b.reqW, b.node.ID)
+					nd.ID, i, a.w, a.id, en.w, en.id)
 			}
 		}
 	}
@@ -62,19 +76,19 @@ func TestByReqInsertKeepsNaNWeightsInTail(t *testing.T) {
 		nd.byReqInsert(p)
 	}
 	got := make([]float64, len(nd.byReq))
-	for i, p := range nd.byReq {
-		got[i] = p.reqW
+	for i, en := range nd.byReq {
+		got[i] = en.w
 	}
 	if len(got) != 4 || got[0] != 9 || got[1] != 5 ||
 		!math.IsNaN(got[2]) || !math.IsNaN(got[3]) {
 		t.Fatalf("byReq order = %v, want [9 5 NaN NaN]", got)
 	}
-	if nd.byReq[2].node.ID > nd.byReq[3].node.ID {
+	if nd.byReq[2].id > nd.byReq[3].id {
 		t.Error("NaN tail not id-ordered")
 	}
 	// bestPartner must reach the positive entries despite the NaNs.
-	for _, p := range nd.byReq {
-		p.node.online = true
+	for _, en := range nd.byReq {
+		en.p.node.online = true
 	}
 	if best := nd.bestPartner(); best == nil || best.reqW != 9 {
 		t.Errorf("bestPartner = %v, want the weight-9 partner", best)

@@ -76,24 +76,26 @@ func (nd *Node) serveChunk(requester *Node, id chunkstream.ChunkID) {
 	}
 	if !nd.hasChunk(id, now) {
 		net.sendControl(nd, requester, rejectSize, packet.Signaling)
-		net.Ledger.Rejections[nd.ID]++
+		net.Ledger.rejection(nd.ID)
 		requester.onReject(nd.ID, id)
 		return
 	}
 	if nd.up.Backlog(now) > net.Cfg.UplinkBusyCap {
 		net.sendControl(nd, requester, rejectSize, packet.Signaling)
-		net.Ledger.Rejections[nd.ID]++
+		net.Ledger.rejection(nd.ID)
 		requester.onReject(nd.ID, id)
 		return
 	}
 
 	chunkSize := net.Cfg.Calendar.ChunkSize()
 	start, _ := nd.up.Reserve(now, chunkSize)
-	sizes := access.Packetize(chunkSize)
+	sizes := access.PacketizeInto(net.trainSizes, chunkSize)
+	net.trainSizes = sizes
 	owd := net.Topo.OneWayDelay(nd.Host, requester.Host)
-	departs, arrives := access.Train(start, sizes,
+	departs, arrives := access.TrainInto(net.trainDeparts, net.trainArrives, start, sizes,
 		nd.Link.Spec.Up, requester.Link.Spec.Down,
 		owd, net.Eng.Rand(), net.Cfg.JitterMax)
+	net.trainDeparts, net.trainArrives = departs, arrives
 
 	// Materialize per-packet records at whichever ends are probes.
 	if nd.spool != nil {
@@ -115,7 +117,7 @@ func (nd *Node) serveChunk(requester *Node, id chunkstream.ChunkID) {
 	}
 
 	net.Ledger.video(nd.ID, requester.ID, int64(chunkSize), nd.Host.AS == requester.Host.AS)
-	net.Ledger.ChunksServed[nd.ID]++
+	net.Ledger.chunkServed(nd.ID)
 	if nd.isSource {
 		net.Ledger.SourceVideoTx += int64(chunkSize)
 	}

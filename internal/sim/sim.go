@@ -33,10 +33,10 @@ func (t Time) Add(d time.Duration) Time { return t + Time(d) }
 // Sub reports the duration elapsed between u and t.
 func (t Time) Sub(u Time) time.Duration { return time.Duration(t - u) }
 
-// event is stored by value in the heap slice: a simulation schedules
-// millions of events per run, and a per-event heap allocation (plus the
-// interface boxing container/heap forces on every Push/Pop) dominated the
-// profile before the engine moved to this layout.
+// event is stored by value in the wheel slots and the current-tick heap: a
+// simulation schedules millions of events per run, and a per-event heap
+// allocation (plus the interface boxing container/heap forces on every
+// Push/Pop) dominated the profile before the engine moved to this layout.
 type event struct {
 	at    Time
 	seq   uint64
@@ -46,13 +46,27 @@ type event struct {
 
 // Engine is a discrete-event scheduler with a virtual clock and its own
 // seeded random source. The zero value is not usable; construct with New.
+//
+// The queue is a hierarchical timing wheel (see wheel.go): O(1) amortized
+// schedule and fire regardless of how many events are pending, preserving
+// the exact (at, seq) firing order of the binary heap it replaced.
 type Engine struct {
-	now    Time
-	seq    uint64
-	events []event // binary min-heap ordered by (at, seq)
-	rng    *rand.Rand
+	now Time
+	seq uint64
+	rng *rand.Rand
+
+	// Timing-wheel queue state (wheel.go). cur is the small (at, seq)
+	// min-heap of the tick being drained; slots/occ are the wheel levels
+	// and their occupancy bitmaps; curTick is the wheel cursor.
+	cur        []event
+	curTick    int64
+	slots      [numLevels][levelSlots][]event
+	occ        [numLevels]uint64
+	wheelCount int // events stored in wheel slots, ghosts included
+
 	// ghost counts cancelled timers still sitting in the queue; they are
-	// discarded lazily when they reach the head.
+	// discarded lazily — per wheel slot at spill time, and at the heap
+	// head.
 	ghost   int
 	stopped bool
 	// processed counts executed events; exposed for tests and for the
@@ -80,70 +94,7 @@ func (e *Engine) Processed() uint64 { return e.processed }
 
 // Pending reports how many live events are waiting in the queue. Cancelled
 // timers that have not yet been discarded are excluded.
-func (e *Engine) Pending() int { return len(e.events) - e.ghost }
-
-// less orders the heap by instant, then by scheduling order, which is the
-// engine's same-instant FIFO guarantee.
-func (e *Engine) less(i, j int) bool {
-	a, b := &e.events[i], &e.events[j]
-	if a.at != b.at {
-		return a.at < b.at
-	}
-	return a.seq < b.seq
-}
-
-func (e *Engine) push(ev event) {
-	e.events = append(e.events, ev)
-	i := len(e.events) - 1
-	for i > 0 {
-		parent := (i - 1) / 2
-		if !e.less(i, parent) {
-			break
-		}
-		e.events[i], e.events[parent] = e.events[parent], e.events[i]
-		i = parent
-	}
-}
-
-func (e *Engine) pop() event {
-	h := e.events
-	top := h[0]
-	n := len(h) - 1
-	h[0] = h[n]
-	h[n] = event{} // release fn/timer references to the GC
-	e.events = h[:n]
-	i := 0
-	for {
-		l := 2*i + 1
-		if l >= n {
-			break
-		}
-		m := l
-		if r := l + 1; r < n && e.less(r, l) {
-			m = r
-		}
-		if !e.less(m, i) {
-			break
-		}
-		e.events[i], e.events[m] = e.events[m], e.events[i]
-		i = m
-	}
-	return top
-}
-
-// dropCancelled discards cancelled timers sitting at the head of the queue,
-// so that the head, if any, is always the next event that will actually
-// execute. Skipped events advance neither the clock nor Processed.
-func (e *Engine) dropCancelled() {
-	for len(e.events) > 0 {
-		t := e.events[0].timer
-		if t == nil || !t.cancelled {
-			return
-		}
-		e.pop()
-		e.ghost--
-	}
-}
+func (e *Engine) Pending() int { return len(e.cur) + e.wheelCount - e.ghost }
 
 // Schedule runs fn after delay of virtual time. A negative delay is a
 // programming error and panics: allowing it would silently reorder the past.
@@ -161,7 +112,7 @@ func (e *Engine) At(t Time, fn func()) {
 		panic(fmt.Sprintf("sim: scheduling into the past: %v < %v", t, e.now))
 	}
 	e.seq++
-	e.push(event{at: t, seq: e.seq, fn: fn})
+	e.enqueue(event{at: t, seq: e.seq, fn: fn})
 }
 
 // Timer is a cancellable scheduled callback.
@@ -191,7 +142,7 @@ func (e *Engine) After(delay time.Duration, fn func()) *Timer {
 	}
 	t := &Timer{eng: e}
 	e.seq++
-	e.push(event{at: e.now.Add(delay), seq: e.seq, fn: fn, timer: t})
+	e.enqueue(event{at: e.now.Add(delay), seq: e.seq, fn: fn, timer: t})
 	return t
 }
 
@@ -227,11 +178,10 @@ func (e *Engine) Every(first, interval, jitter time.Duration, fn func()) (cancel
 // one existed. The clock jumps to the event's instant. Cancelled timers
 // encountered on the way are discarded silently.
 func (e *Engine) Step() bool {
-	e.dropCancelled()
-	if len(e.events) == 0 {
+	if !e.headLive() {
 		return false
 	}
-	ev := e.pop()
+	ev := e.heapPop()
 	if ev.timer != nil {
 		ev.timer.fired = true
 	}
@@ -243,13 +193,15 @@ func (e *Engine) Step() bool {
 
 // Run executes events until the clock would pass horizon or the queue
 // drains or Stop is called. On return the clock rests at min(horizon, last
-// event time); events scheduled beyond the horizon stay queued.
+// event time); events scheduled beyond the horizon stay queued. A run that
+// drains the queue completely also releases the queue's internal capacity,
+// so a workload spike (a flash crowd's arrival burst) does not pin its
+// peak event memory for the rest of a long study.
 func (e *Engine) Run(horizon time.Duration) {
 	e.stopped = false
 	end := Time(horizon)
 	for !e.stopped {
-		e.dropCancelled()
-		if len(e.events) == 0 || e.events[0].at > end {
+		if !e.headLive() || e.cur[0].at > end {
 			break
 		}
 		e.Step()
@@ -257,6 +209,7 @@ func (e *Engine) Run(horizon time.Duration) {
 	if e.now < end && !e.stopped {
 		e.now = end
 	}
+	e.releaseIfDrained()
 }
 
 // RunUntilIdle executes every queued event regardless of time. Useful in
@@ -265,6 +218,7 @@ func (e *Engine) RunUntilIdle() {
 	e.stopped = false
 	for !e.stopped && e.Step() {
 	}
+	e.releaseIfDrained()
 }
 
 // Stop makes the current Run/RunUntilIdle return after the executing event

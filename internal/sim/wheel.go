@@ -1,0 +1,200 @@
+package sim
+
+import "math/bits"
+
+// The event queue is a hierarchical timing wheel (calendar queue): O(1)
+// amortized schedule and fire at any queue depth, where the former binary
+// heap paid O(log n) per operation — a log factor that dominated the
+// profile once swarms grew past ~10⁴ peers and millions of events sat
+// pending at once.
+//
+// Layout. Virtual time is bucketed into ticks of 2^tickShift ns (~131 µs).
+// Level 0 holds one slot per tick for the next levelSlots ticks; each
+// higher level widens the slot span by levelSlots×, so eight levels of 64
+// slots cover every representable instant. An event is filed at the lowest
+// level whose current rotation contains its tick — equivalently, the level
+// of the highest bit in which its tick differs from the cursor's. As the
+// cursor reaches a higher-level slot, that slot spills: its events cascade
+// down one or more levels (each event moves at most numLevels times over
+// its whole life, which is the O(1) amortized bound).
+//
+// Ordering. The engine's contract is exact (at, seq) order — same-instant
+// events fire in scheduling order, and the golden-digest tests pin the
+// resulting byte stream. Ticks are coarser than instants, so events of the
+// tick being drained sit in `cur`, a small binary min-heap ordered by
+// (at, seq). The heap stays shallow — it holds roughly one tick's worth of
+// events (plus any scheduled at-or-behind the cursor after it overshot a
+// run horizon) — so its log factor is over the per-tick population, not
+// the whole queue.
+//
+// Invariants:
+//   - every wheel event's tick is strictly greater than curTick, and lies
+//     in its level's current rotation (it shares all bits above that level
+//     with curTick);
+//   - enqueue routes anything at tick ≤ curTick into cur, so the heap head,
+//     when present, is always the global minimum;
+//   - cancelled timers are discarded lazily, per wheel slot at spill time
+//     and at the heap head, exactly like the old heap's head discard.
+const (
+	tickShift  = 17 // one tick = 2^17 ns ≈ 131 µs
+	levelBits  = 6
+	levelSlots = 1 << levelBits
+	levelMask  = levelSlots - 1
+	// numLevels×levelBits bits of tick index on top of tickShift cover
+	// 17+48 = 65 ≥ 63 bits: the top level never wraps for any positive
+	// instant, so no overflow list is needed.
+	numLevels = 8
+)
+
+// enqueue files one event: into the current-tick heap when its tick is at
+// or behind the cursor, otherwise into the lowest wheel level whose current
+// rotation contains it.
+func (e *Engine) enqueue(ev event) {
+	tk := int64(ev.at) >> tickShift
+	if tk <= e.curTick {
+		e.heapPush(ev)
+		return
+	}
+	// The level is the highest differing bit between the event's tick and
+	// the cursor's, in levelBits groups.
+	lvl := (bits.Len64(uint64(tk^e.curTick)) - 1) / levelBits
+	idx := (tk >> (levelBits * lvl)) & levelMask
+	e.slots[lvl][idx] = append(e.slots[lvl][idx], ev)
+	e.occ[lvl] |= 1 << uint(idx)
+	e.wheelCount++
+}
+
+// advance moves the cursor to the next occupied slot — the one holding the
+// queue's minimum tick, since level ranges are disjoint and ordered — and
+// spills it. Reports false when the wheel holds nothing.
+func (e *Engine) advance() bool {
+	if e.wheelCount == 0 {
+		return false
+	}
+	for lvl := 0; lvl < numLevels; lvl++ {
+		shift := levelBits * lvl
+		curIdx := uint((e.curTick >> shift) & levelMask)
+		// Occupied slots strictly after the cursor's slot in this level's
+		// rotation. The cursor's own slot is never occupied here: its
+		// events live at a lower level (or in cur) by the filing rule.
+		after := e.occ[lvl] & (^uint64(0) << (curIdx + 1))
+		if after == 0 {
+			continue
+		}
+		idx := int64(bits.TrailingZeros64(after))
+		abs := (e.curTick>>shift)&^int64(levelMask) | idx
+		e.curTick = abs << shift
+		e.spill(lvl, idx)
+		return true
+	}
+	panic("sim: wheel count positive but no occupied slot")
+}
+
+// spill drains one slot: cancelled timers are discarded (the per-slot lazy
+// ghost discard), live events re-file — into cur for the slot's first tick,
+// into lower levels for the rest. The slot keeps its capacity for reuse.
+func (e *Engine) spill(lvl int, idx int64) {
+	s := e.slots[lvl][idx]
+	// Re-filing never targets this same slot (spilled events land strictly
+	// below lvl, or in cur), so reusing the backing array is safe.
+	e.slots[lvl][idx] = s[:0]
+	e.occ[lvl] &^= 1 << uint(idx)
+	e.wheelCount -= len(s)
+	for i := range s {
+		ev := s[i]
+		s[i] = event{} // release fn/timer references held by the kept slab
+		if t := ev.timer; t != nil && t.cancelled {
+			e.ghost--
+			continue
+		}
+		e.enqueue(ev)
+	}
+}
+
+// headLive discards cancelled timers at the heap head and cascades wheel
+// slots until the heap head is the next event that will actually execute.
+// Reports false when no live event remains anywhere.
+func (e *Engine) headLive() bool {
+	for {
+		for len(e.cur) > 0 {
+			if t := e.cur[0].timer; t != nil && t.cancelled {
+				e.heapPop()
+				e.ghost--
+				continue
+			}
+			return true
+		}
+		if !e.advance() {
+			return false
+		}
+	}
+}
+
+// releaseIfDrained frees the queue's slabs once no live event remains, so a
+// flash-crowd spike's peak capacity is not pinned for the rest of a long
+// study. Any events still stored are cancelled ghosts and go with the slabs.
+func (e *Engine) releaseIfDrained() {
+	if len(e.cur)+e.wheelCount-e.ghost != 0 {
+		return
+	}
+	e.cur = nil
+	e.ghost = 0
+	e.wheelCount = 0
+	// Occupancy only says which slots hold events now; drained slots keep
+	// their capacity until released here, so every slot is cleared.
+	for lvl := range e.slots {
+		for i := range e.slots[lvl] {
+			e.slots[lvl][i] = nil
+		}
+		e.occ[lvl] = 0
+	}
+}
+
+// less orders the current-tick heap by instant, then by scheduling order —
+// the engine's same-instant FIFO guarantee.
+func (e *Engine) less(i, j int) bool {
+	a, b := &e.cur[i], &e.cur[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *Engine) heapPush(ev event) {
+	e.cur = append(e.cur, ev)
+	i := len(e.cur) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.cur[i], e.cur[parent] = e.cur[parent], e.cur[i]
+		i = parent
+	}
+}
+
+func (e *Engine) heapPop() event {
+	h := e.cur
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = event{} // release fn/timer references to the GC
+	e.cur = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && e.less(r, l) {
+			m = r
+		}
+		if !e.less(m, i) {
+			break
+		}
+		e.cur[i], e.cur[m] = e.cur[m], e.cur[i]
+		i = m
+	}
+	return top
+}

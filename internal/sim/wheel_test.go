@@ -1,0 +1,421 @@
+package sim
+
+import (
+	"math/rand"
+	"testing"
+	"time"
+)
+
+// refEngine reimplements the engine's previous queue — a single binary
+// min-heap over (at, seq) with lazy head discard of cancelled timers — as a
+// reference model. The differential tests below drive it and the timing
+// wheel with identical randomized workloads and demand identical behaviour.
+type refEngine struct {
+	now       Time
+	seq       uint64
+	events    []refEvent
+	ghost     int
+	processed uint64
+}
+
+type refEvent struct {
+	at    Time
+	seq   uint64
+	fn    func()
+	timer *refTimer
+}
+
+type refTimer struct {
+	eng       *refEngine
+	cancelled bool
+	fired     bool
+}
+
+func (t *refTimer) cancel() {
+	if t.cancelled || t.fired {
+		return
+	}
+	t.cancelled = true
+	t.eng.ghost++
+}
+
+func (e *refEngine) less(i, j int) bool {
+	a, b := &e.events[i], &e.events[j]
+	if a.at != b.at {
+		return a.at < b.at
+	}
+	return a.seq < b.seq
+}
+
+func (e *refEngine) push(ev refEvent) {
+	e.events = append(e.events, ev)
+	i := len(e.events) - 1
+	for i > 0 {
+		parent := (i - 1) / 2
+		if !e.less(i, parent) {
+			break
+		}
+		e.events[i], e.events[parent] = e.events[parent], e.events[i]
+		i = parent
+	}
+}
+
+func (e *refEngine) pop() refEvent {
+	h := e.events
+	top := h[0]
+	n := len(h) - 1
+	h[0] = h[n]
+	h[n] = refEvent{}
+	e.events = h[:n]
+	i := 0
+	for {
+		l := 2*i + 1
+		if l >= n {
+			break
+		}
+		m := l
+		if r := l + 1; r < n && e.less(r, l) {
+			m = r
+		}
+		if !e.less(m, i) {
+			break
+		}
+		e.events[i], e.events[m] = e.events[m], e.events[i]
+		i = m
+	}
+	return top
+}
+
+func (e *refEngine) dropCancelled() {
+	for len(e.events) > 0 {
+		t := e.events[0].timer
+		if t == nil || !t.cancelled {
+			return
+		}
+		e.pop()
+		e.ghost--
+	}
+}
+
+func (e *refEngine) step() bool {
+	e.dropCancelled()
+	if len(e.events) == 0 {
+		return false
+	}
+	ev := e.pop()
+	if ev.timer != nil {
+		ev.timer.fired = true
+	}
+	e.now = ev.at
+	e.processed++
+	ev.fn()
+	return true
+}
+
+func (e *refEngine) run(horizon time.Duration) {
+	end := Time(horizon)
+	for {
+		e.dropCancelled()
+		if len(e.events) == 0 || e.events[0].at > end {
+			break
+		}
+		e.step()
+	}
+	if e.now < end {
+		e.now = end
+	}
+}
+
+// sched abstracts the two engines so one workload driver exercises both.
+type sched interface {
+	now() Time
+	pending() int
+	processedCount() uint64
+	schedule(d time.Duration, fn func())
+	after(d time.Duration, fn func()) (cancel func())
+	run(horizon time.Duration)
+	stepToIdle()
+}
+
+type wheelSched struct{ e *Engine }
+
+func (s wheelSched) now() Time                           { return s.e.Now() }
+func (s wheelSched) pending() int                        { return s.e.Pending() }
+func (s wheelSched) processedCount() uint64              { return s.e.Processed() }
+func (s wheelSched) schedule(d time.Duration, fn func()) { s.e.Schedule(d, fn) }
+func (s wheelSched) run(horizon time.Duration)           { s.e.Run(horizon) }
+func (s wheelSched) stepToIdle()                         { s.e.RunUntilIdle() }
+func (s wheelSched) after(d time.Duration, fn func()) func() {
+	t := s.e.After(d, fn)
+	return t.Cancel
+}
+
+type refSched struct{ e *refEngine }
+
+func (s refSched) now() Time              { return s.e.now }
+func (s refSched) pending() int           { return len(s.e.events) - s.e.ghost }
+func (s refSched) processedCount() uint64 { return s.e.processed }
+func (s refSched) schedule(d time.Duration, fn func()) {
+	s.e.seq++
+	s.e.push(refEvent{at: s.e.now.Add(d), seq: s.e.seq, fn: fn})
+}
+func (s refSched) after(d time.Duration, fn func()) func() {
+	t := &refTimer{eng: s.e}
+	s.e.seq++
+	s.e.push(refEvent{at: s.e.now.Add(d), seq: s.e.seq, fn: fn, timer: t})
+	return t.cancel
+}
+func (s refSched) run(horizon time.Duration) { s.e.run(horizon) }
+func (s refSched) stepToIdle() {
+	for s.e.step() {
+	}
+}
+
+type fireRec struct {
+	id int
+	at Time
+}
+
+// driveWorkload runs a randomized schedule against s: mixed delay
+// magnitudes (zero, sub-tick, multi-tick, exact tick and level-boundary
+// multiples), same-instant ties, nested scheduling from callbacks, and
+// cancellations both immediate and issued later from unrelated events. The
+// rng is re-seeded per engine, so two engines that fire events in the same
+// order draw identical decisions and produce comparable traces.
+func driveWorkload(s sched, seed int64, segments []time.Duration) []fireRec {
+	rng := rand.New(rand.NewSource(seed))
+	var recs []fireRec
+	var cancels []func()
+	nextID := 0
+	budget := 3000
+	prev := time.Duration(0)
+
+	randDelay := func() time.Duration {
+		switch rng.Intn(10) {
+		case 0:
+			return 0
+		case 1:
+			return prev // deliberate same-instant tie with a sibling
+		case 2:
+			return time.Duration(rng.Int63n(1000)) // sub-µs, far below one tick
+		case 3:
+			return time.Duration(rng.Int63n(int64(time.Millisecond)))
+		case 4:
+			return time.Duration(rng.Int63n(int64(time.Second)))
+		case 5:
+			return time.Duration(rng.Int63n(int64(time.Minute)))
+		case 6:
+			return time.Duration(1+rng.Int63n(levelSlots)) << tickShift // exact tick multiples
+		case 7:
+			return time.Duration(1+rng.Int63n(8)) << (tickShift + levelBits) // level-1 slot boundaries
+		default:
+			return time.Duration(1+rng.Int63n(4)) << (tickShift + 2*levelBits) // level-2 slot boundaries
+		}
+	}
+
+	var spawn func()
+	spawn = func() {
+		if budget <= 0 {
+			return
+		}
+		budget--
+		id := nextID
+		nextID++
+		d := randDelay()
+		prev = d
+		fn := func() {
+			recs = append(recs, fireRec{id, s.now()})
+			for k := rng.Intn(3); k > 0; k-- { // nested scheduling from the callback
+				spawn()
+			}
+			if len(cancels) > 0 && rng.Intn(3) == 0 {
+				// Cancel a timer queued by an earlier, unrelated event —
+				// it may sit in any wheel level or in the current tick.
+				i := rng.Intn(len(cancels))
+				cancels[i]()
+				cancels[i] = cancels[len(cancels)-1]
+				cancels = cancels[:len(cancels)-1]
+			}
+		}
+		if rng.Intn(4) == 0 {
+			cancel := s.after(d, fn)
+			if rng.Intn(3) == 0 {
+				cancel() // immediate cancellation
+			} else {
+				cancels = append(cancels, cancel)
+			}
+		} else {
+			s.schedule(d, fn)
+		}
+	}
+
+	for i := 0; i < 400; i++ {
+		spawn()
+	}
+	for _, h := range segments {
+		s.run(h)
+	}
+	s.stepToIdle()
+	return recs
+}
+
+// TestWheelMatchesHeapDifferential is the core equivalence check: the same
+// randomized workload through the old heap and the new wheel must fire the
+// same events in the same order at the same instants, with matching
+// processed counts, pending counts, and final clocks.
+func TestWheelMatchesHeapDifferential(t *testing.T) {
+	segments := []time.Duration{
+		500 * time.Millisecond, // horizon mid-workload: cursor overshoot path
+		2 * time.Second,
+		time.Minute,
+	}
+	for seed := int64(1); seed <= 8; seed++ {
+		wheel := wheelSched{New(0)}
+		ref := refSched{&refEngine{}}
+		got := driveWorkload(wheel, seed, segments)
+		want := driveWorkload(ref, seed, segments)
+		if len(got) != len(want) {
+			t.Fatalf("seed %d: fired %d events, reference fired %d", seed, len(got), len(want))
+		}
+		for i := range want {
+			if got[i] != want[i] {
+				t.Fatalf("seed %d: divergence at firing %d: wheel %+v, heap %+v",
+					seed, i, got[i], want[i])
+			}
+		}
+		if gp, wp := wheel.processedCount(), ref.processedCount(); gp != wp {
+			t.Errorf("seed %d: processed %d, reference %d", seed, gp, wp)
+		}
+		if gp, wp := wheel.pending(), ref.pending(); gp != wp {
+			t.Errorf("seed %d: pending %d, reference %d", seed, gp, wp)
+		}
+		if gn, wn := wheel.now(), ref.now(); gn != wn {
+			t.Errorf("seed %d: clock %v, reference %v", seed, gn, wn)
+		}
+	}
+}
+
+// TestCancelInHigherWheelLevel cancels timers that sit in level ≥ 1 slots
+// before any cascade has touched them; they must neither fire nor linger in
+// Pending, and the queue must drain cleanly around them.
+func TestCancelInHigherWheelLevel(t *testing.T) {
+	e := New(1)
+	oneTick := time.Duration(1) << tickShift
+	level1 := oneTick * levelSlots // lands in level 1
+	level2 := level1 * levelSlots  // lands in level 2
+
+	tm1 := e.After(level1+oneTick, func() { t.Error("cancelled level-1 timer fired") })
+	tm2 := e.After(level2+oneTick, func() { t.Error("cancelled level-2 timer fired") })
+	fired := 0
+	e.Schedule(level2+2*oneTick, func() { fired++ })
+	tm1.Cancel()
+	tm2.Cancel()
+	if e.Pending() != 1 {
+		t.Fatalf("Pending = %d, want 1", e.Pending())
+	}
+	e.RunUntilIdle()
+	if fired != 1 {
+		t.Errorf("fired = %d, want 1", fired)
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d after drain, want 0", e.Pending())
+	}
+}
+
+// TestCancelAfterCascadeIntoCurrentTick cancels a timer after its slot has
+// spilled into the current-tick heap (its sibling at the same tick already
+// fired), exercising the heap-head discard path.
+func TestCancelAfterCascadeIntoCurrentTick(t *testing.T) {
+	e := New(1)
+	oneTick := time.Duration(1) << tickShift
+	at := 5 * oneTick
+	var tm *Timer
+	// First event of the tick cancels the second while both are in cur.
+	e.Schedule(at, func() { tm.Cancel() })
+	tm = e.After(at+oneTick/2, func() { t.Error("timer cancelled in current tick fired") })
+	e.Schedule(at+oneTick-1, func() {}) // same tick, after the cancelled timer
+	e.RunUntilIdle()
+	if e.Processed() != 2 {
+		t.Errorf("Processed = %d, want 2", e.Processed())
+	}
+	if e.Pending() != 0 {
+		t.Errorf("Pending = %d, want 0", e.Pending())
+	}
+}
+
+// TestRunHorizonCursorOvershoot pins the subtle interaction between Run
+// horizons and the wheel cursor: peeking at a far-future event advances the
+// cursor past the horizon, and events scheduled afterwards at nearer
+// instants land behind the cursor — they must still fire first, in order.
+func TestRunHorizonCursorOvershoot(t *testing.T) {
+	e := New(1)
+	var trace []string
+	e.Schedule(10*time.Minute, func() { trace = append(trace, "far") })
+	e.Run(time.Second) // peeks at the 10-minute event, overshooting the cursor
+	if e.Now() != Time(time.Second) {
+		t.Fatalf("clock = %v, want 1s", e.Now())
+	}
+	e.Schedule(time.Second, func() { trace = append(trace, "near") })
+	e.Schedule(2*time.Second, func() { trace = append(trace, "mid") })
+	e.RunUntilIdle()
+	want := []string{"near", "mid", "far"}
+	if len(trace) != len(want) {
+		t.Fatalf("trace = %v, want %v", trace, want)
+	}
+	for i := range want {
+		if trace[i] != want[i] {
+			t.Fatalf("trace = %v, want %v", trace, want)
+		}
+	}
+}
+
+// TestRunReleasesQueueCapacity checks the drain-release contract: once a Run
+// empties the queue, the engine lets go of the event slabs a workload spike
+// grew, instead of pinning peak capacity for the rest of a long study.
+func TestRunReleasesQueueCapacity(t *testing.T) {
+	e := New(1)
+	for i := 0; i < 10000; i++ {
+		e.Schedule(time.Duration(i)*time.Millisecond, func() {})
+	}
+	tm := e.After(5*time.Second, func() {}) // a ghost must not block the release
+	tm.Cancel()
+	e.Run(time.Minute)
+	if e.Pending() != 0 {
+		t.Fatalf("Pending = %d, want 0", e.Pending())
+	}
+	if e.cur != nil {
+		t.Errorf("cur heap capacity not released after drain")
+	}
+	for lvl := range e.slots {
+		for i := range e.slots[lvl] {
+			if e.slots[lvl][i] != nil {
+				t.Fatalf("slot [%d][%d] capacity not released after drain", lvl, i)
+			}
+		}
+	}
+	// The engine must stay fully usable after a release.
+	fired := false
+	e.Schedule(time.Second, func() { fired = true })
+	e.RunUntilIdle()
+	if !fired {
+		t.Error("engine unusable after capacity release")
+	}
+}
+
+// BenchmarkEngineDeepQueue measures schedule+fire cost with many events
+// pending at once — the regime where the old heap paid its log factor.
+func BenchmarkEngineDeepQueue(b *testing.B) {
+	e := New(1)
+	rng := rand.New(rand.NewSource(2))
+	var churn func()
+	churn = func() {
+		e.Schedule(time.Duration(rng.Int63n(int64(time.Minute))), churn)
+	}
+	for i := 0; i < 1<<16; i++ {
+		churn()
+	}
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		e.Step()
+	}
+}

@@ -133,6 +133,14 @@ type Study struct {
 	// PeerFactor scales each application's default background population
 	// (0 = 1.0, floor of 50 peers), exactly like napawine.Scale.
 	PeerFactor float64 `json:"peer_factor,omitempty"`
+	// Peers pins the background population to an absolute count instead
+	// of scaling the per-app default; 0 leaves the default (or the
+	// PeerFactor scaling). Setting both is rejected — two sizings for one
+	// world would silently run whichever won.
+	Peers int `json:"peers,omitempty"`
+	// LeanLedger forces the O(1)-memory ledger regardless of world size
+	// (it switches on automatically at experiment.LeanLedgerAutoPeers).
+	LeanLedger bool `json:"lean_ledger,omitempty"`
 
 	// Metrics names the comparison table's columns by registered metric
 	// key (empty = the continuity / source load / diffusion delay
@@ -203,6 +211,12 @@ func (st *Study) Validate() error {
 	}
 	if st.PeerFactor < 0 {
 		return fmt.Errorf("study %s: negative peer factor %v", st.Name, st.PeerFactor)
+	}
+	if st.Peers < 0 {
+		return fmt.Errorf("study %s: negative peers %d", st.Name, st.Peers)
+	}
+	if st.Peers > 0 && st.PeerFactor > 0 {
+		return fmt.Errorf("study %s: peers and peer_factor are mutually exclusive", st.Name)
 	}
 	if st.Trials < 0 {
 		return fmt.Errorf("study %s: negative trials %d", st.Name, st.Trials)
@@ -366,7 +380,12 @@ func (c cell) config(st *Study) (experiment.Config, error) {
 	if st.Duration > 0 {
 		cfg.Duration = time.Duration(st.Duration)
 	}
-	cfg.ScalePeers(st.PeerFactor)
+	if st.Peers > 0 {
+		cfg.World.Peers = st.Peers
+	} else {
+		cfg.ScalePeers(st.PeerFactor)
+	}
+	cfg.LeanLedger = st.LeanLedger
 	cfg.Scenario = c.scn
 	cfg.Strategy = c.strategy
 	if c.variant.Blind || c.variant.Mutate != nil {

@@ -52,6 +52,13 @@ type Spec struct {
 	// PeerFactor scales each application's default background population
 	// exactly like napawine.Scale (0 selects 1.0, floor of 50 peers).
 	PeerFactor float64
+	// Peers pins the background population to an absolute count (0 =
+	// leave to PeerFactor). Mutually exclusive with PeerFactor, like
+	// study.Study.Peers.
+	Peers int
+	// LeanLedger forces O(1)-memory ground-truth accounting for every
+	// trial; large worlds switch to it automatically.
+	LeanLedger bool
 	// Workers bounds parallel trials (0 = GOMAXPROCS).
 	Workers int
 
@@ -141,6 +148,8 @@ func (s Spec) Study() *study.Study {
 		Seeds:      s.seeds(),
 		Duration:   study.Duration(s.Duration),
 		PeerFactor: s.PeerFactor,
+		Peers:      s.Peers,
+		LeanLedger: s.LeanLedger,
 	}
 }
 

@@ -2,6 +2,7 @@ package world
 
 import (
 	"fmt"
+	"math"
 	"math/rand"
 	"net/netip"
 
@@ -121,6 +122,36 @@ var institutionalLinks = []access.Link{
 	{Kind: access.FTTH, Spec: units.MustAccessSpec("100/20")},
 }
 
+// defaultSubnetsPerAS sizes the background address space for the
+// population. Placement samples a country bucket's subnets uniformly at
+// random (with a handful of retries on a full /24), so each bucket needs
+// roughly twice its expected load in capacity to absorb the multinomial
+// skew. The floor of 3 keeps every world built before population-aware
+// sizing byte-identical: at ≤ a few thousand peers no bucket needs more.
+func defaultSubnetsPerAS(peers int, mix []CountryShare) int {
+	const hostsPerSubnet = 253 // usable addresses in a /24
+	need := 3
+	totalShare := 0.0
+	for _, m := range mix {
+		totalShare += m.Share
+	}
+	if totalShare <= 0 {
+		return need
+	}
+	for _, m := range mix {
+		ases := m.ASes
+		if ases <= 0 {
+			ases = 1
+		}
+		load := 2 * float64(peers) * (m.Share / totalShare)
+		n := int(math.Ceil(load / float64(ases*hostsPerSubnet)))
+		if n > need {
+			need = n
+		}
+	}
+	return need
+}
+
 // Build materializes the testbed plus a background swarm per spec.
 func Build(spec Spec) (*World, error) {
 	if spec.Peers < 0 {
@@ -132,12 +163,12 @@ func Build(spec Spec) (*World, error) {
 	if spec.HighBwFraction < 0 || spec.HighBwFraction > 1 {
 		return nil, fmt.Errorf("world: HighBwFraction %v out of [0,1]", spec.HighBwFraction)
 	}
-	if spec.SubnetsPerAS <= 0 {
-		spec.SubnetsPerAS = 3
-	}
 	mix := spec.Mix
 	if mix == nil {
 		mix = DefaultMix()
+	}
+	if spec.SubnetsPerAS <= 0 {
+		spec.SubnetsPerAS = defaultSubnetsPerAS(spec.Peers+spec.ExtraPeers, mix)
 	}
 	sites := TableI()
 	if err := ValidateTableI(sites); err != nil {

@@ -317,3 +317,30 @@ func TestDeferredPoolValidation(t *testing.T) {
 		t.Error("negative extra peers should fail")
 	}
 }
+
+// Population-aware address-space sizing: the default SubnetsPerAS must stay
+// at the historical 3 for every small world (seed-stability) and grow with
+// the population so large swarms can actually be placed.
+func TestDefaultSubnetsPerASScaling(t *testing.T) {
+	if got := defaultSubnetsPerAS(1000, DefaultMix()); got != 3 {
+		t.Errorf("1k peers: SubnetsPerAS = %d, want 3 (historical default)", got)
+	}
+	big := defaultSubnetsPerAS(100_000, DefaultMix())
+	// CN binds: 62% of 2×100k peers over 14 ASes of 253-host subnets.
+	if big < 35 {
+		t.Errorf("100k peers: SubnetsPerAS = %d, want ≥ 35", big)
+	}
+}
+
+func TestBuildLargeSwarmPlaces(t *testing.T) {
+	if testing.Short() {
+		t.Skip("builds a 30k-peer world")
+	}
+	w, err := Build(Spec{Seed: 9, Peers: 30_000, HighBwFraction: 0.1})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(w.Background) != 30_000 {
+		t.Fatalf("placed %d background peers, want 30000", len(w.Background))
+	}
+}

@@ -127,6 +127,13 @@ type Scale struct {
 	// PeerFactor scales each application's default background
 	// population (1.0 = paper-calibrated default; 0 selects 1.0).
 	PeerFactor float64
+	// Peers pins the background population to an absolute count instead
+	// of scaling the default (0 = leave to PeerFactor). Mutually
+	// exclusive with PeerFactor, like Study.Peers.
+	Peers int
+	// LeanLedger forces O(1)-memory ground-truth accounting regardless of
+	// world size; large worlds switch to it automatically.
+	LeanLedger bool
 	// Workers bounds parallel experiments (0 = GOMAXPROCS).
 	Workers int
 	// Scenario names a registered workload scenario to replay in every
@@ -161,6 +168,8 @@ func (s Scale) Battery() *Study {
 		Seeds:      []int64{s.Seed},
 		Duration:   StudyDuration(s.Duration),
 		PeerFactor: s.PeerFactor,
+		Peers:      s.Peers,
+		LeanLedger: s.LeanLedger,
 	}
 }
 
