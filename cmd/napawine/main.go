@@ -18,6 +18,8 @@
 //	napawine -study-file s.json          # run a file-authored study grid
 //	napawine -study-list                 # show the study registry
 //	napawine -out tables.txt             # write tables to a file, not stdout
+//	napawine -http localhost:8080        # live dashboard while the run executes
+//	napawine -svg-out charts/            # write SVG chart artifacts
 //
 // Deterministic: the same -seed regenerates identical tables; the same
 // -seed/-seeds pair regenerates identical sweep and study tables — scenario
@@ -35,6 +37,8 @@ import (
 	"time"
 
 	"napawine"
+	"napawine/internal/dash"
+	"napawine/internal/plot"
 	"napawine/internal/report"
 	"napawine/internal/world"
 )
@@ -189,6 +193,9 @@ func main() {
 		studyName = flag.String("study", "", "registered study grid to run (see -study-list)")
 		studyFile = flag.String("study-file", "", "JSON study file to run (see README: running studies)")
 		listStudy = flag.Bool("study-list", false, "list registered studies and exit")
+		httpAddr  = flag.String("http", "", "serve a live dashboard on this address while the run executes (port 0 picks a free one; see README: watching a study live)")
+		httpWait  = flag.Duration("http-linger", 0, "keep the -http dashboard serving this long after the run finishes")
+		svgOut    = flag.String("svg-out", "", "write SVG chart artifacts into this directory")
 	)
 	flag.Parse()
 	explicit := map[string]bool{}
@@ -198,6 +205,11 @@ func main() {
 	// -scale would silently run whichever won inside the study layer.
 	if explicit["peers"] && explicit["scale"] {
 		fmt.Fprintln(os.Stderr, "napawine: -peers and -scale are mutually exclusive")
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *httpWait != 0 && *httpAddr == "" {
+		fmt.Fprintln(os.Stderr, "napawine: -http-linger requires -http")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -237,6 +249,40 @@ func main() {
 		}
 	}
 
+	// startDash binds the live dashboard when -http is set; the returned
+	// finish lingers (for -http-linger, so scripts and CI can still curl a
+	// finished run) and then tears it down.
+	startDash := func() (*dash.Server, func()) {
+		if *httpAddr == "" {
+			return nil, func() {}
+		}
+		ds, err := dash.New(*httpAddr)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "dashboard: http://%s/\n", ds.Addr())
+		return ds, func() {
+			if *httpWait > 0 {
+				fmt.Fprintf(os.Stderr, "dashboard lingering %v\n", *httpWait)
+				time.Sleep(*httpWait)
+			}
+			_ = ds.Close()
+		}
+	}
+
+	// writeSVGs resolves -svg-out; a render failure is fatal so a partial
+	// artifact directory is never mistaken for a complete one.
+	writeSVGs := func(arts []plot.Artifact) {
+		if *svgOut == "" || len(arts) == 0 {
+			return
+		}
+		paths, err := plot.WriteDir(*svgOut, arts)
+		if err != nil {
+			fatal(err)
+		}
+		fmt.Fprintf(os.Stderr, "wrote %d SVG artifacts to %s\n", len(paths), *svgOut)
+	}
+
 	if *studyName != "" || *studyFile != "" {
 		if err := validateStudyArgs(*studyName, *studyFile, explicit); err != nil {
 			fmt.Fprintln(os.Stderr, "napawine:", err)
@@ -253,14 +299,21 @@ func main() {
 			os.Exit(2)
 		}
 		out, closeOut := openOut()
-		runStudy(st, *workers, *csv, out)
+		ds, finishDash := startDash()
+		runStudy(st, *workers, *csv, out, ds, writeSVGs)
 		closeOut()
+		finishDash()
 		return
 	}
 
 	appList := parseApps(*appsFlag)
 	if err := validateArgs(*exp, appList, *scn, *scnFile, *strat); err != nil {
 		fmt.Fprintln(os.Stderr, "napawine:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *exp == "table1" && (*httpAddr != "" || *svgOut != "") {
+		fmt.Fprintln(os.Stderr, "napawine: -http and -svg-out run no simulation under -exp table1 (the testbed inventory is static)")
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -292,8 +345,10 @@ func main() {
 	}
 
 	if *seeds > 1 {
-		runSweep(appList, *seed, *seeds, *duration, effFactor, *peers, *leanLed, *workers, *exp, *csv, *scn, fileSpec, *strat, out)
+		ds, finishDash := startDash()
+		runSweep(appList, *seed, *seeds, *duration, effFactor, *peers, *leanLed, *workers, *exp, *csv, *scn, fileSpec, *strat, out, ds, writeSVGs)
 		closeOut()
+		finishDash()
 		return
 	}
 
@@ -314,11 +369,20 @@ func main() {
 		fmt.Fprintf(os.Stderr, "strategy: %s\n", *strat)
 	}
 	start := time.Now()
-	results, err := napawine.RunAll(napawine.Scale{
+	sc := napawine.Scale{
 		Seed: *seed, Duration: *duration, PeerFactor: effFactor, Peers: *peers,
 		LeanLedger: *leanLed, Workers: *workers,
 		Scenario: *scn, ScenarioSpec: fileSpec, Strategy: *strat, Apps: appList,
-	})
+	}
+	ds, finishDash := startDash()
+	runOpts := []napawine.StudyOption{napawine.WithObserver(&progress{start: start})}
+	if ds != nil {
+		if err := ds.BeginStudy(sc.Battery()); err != nil {
+			fatal(err)
+		}
+		runOpts = append(runOpts, napawine.WithObserver(ds))
+	}
+	results, err := napawine.RunAll(sc, runOpts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -372,7 +436,9 @@ func main() {
 			render(series)
 		}
 	}
+	writeSVGs(append(napawine.SeriesPlots(results), napawine.Figure1Plots(results)...))
 	closeOut()
+	finishDash()
 }
 
 // renderer builds the shared table writer: aligned ASCII or CSV, onto out.
@@ -392,7 +458,10 @@ func renderer(csv bool, out io.Writer) func(*napawine.Table) {
 }
 
 // progress prints one line per finished study cell on stderr, so a long
-// grid shows movement while tables wait for the end.
+// grid shows movement while tables wait for the end. Cell identity comes
+// from the RunInfo the study layer hands every observer — the same values
+// the dashboard renders — so the terminal and the browser always agree on
+// which cell is which.
 type progress struct {
 	mu    sync.Mutex
 	done  int
@@ -406,12 +475,13 @@ func (p *progress) OnRunDone(info napawine.StudyRunInfo, sum napawine.RunSummary
 	defer p.mu.Unlock()
 	p.done++
 	if err != nil {
-		fmt.Fprintf(os.Stderr, "[%d/%d] %s FAILED: %v\n", p.done, info.Total, info.Label(), err)
+		fmt.Fprintf(os.Stderr, "cell %d/%d %s FAILED: %v\n",
+			info.Index+1, info.Total, info.Label(), err)
 		return
 	}
-	fmt.Fprintf(os.Stderr, "[%d/%d] %s done (continuity %.3f, %v elapsed)\n",
-		p.done, info.Total, info.Label(), sum.MeanContinuity,
-		time.Since(p.start).Round(time.Second))
+	fmt.Fprintf(os.Stderr, "cell %d/%d %s done (continuity %.3f, %d/%d finished, %v elapsed)\n",
+		info.Index+1, info.Total, info.Label(), sum.MeanContinuity,
+		p.done, info.Total, time.Since(p.start).Round(time.Second))
 }
 
 func (p *progress) OnSample(napawine.StudyRunInfo, napawine.SeriesSample) {}
@@ -464,14 +534,24 @@ func applyStudyOverrides(st *napawine.Study, seed int64, trials int, duration ti
 	}
 }
 
-// runStudy executes a study grid and renders its comparison table.
-func runStudy(st *napawine.Study, workers int, csv bool, out io.Writer) {
+// runStudy executes a study grid and renders its comparison table, with
+// the live dashboard and SVG artifacts riding the same observer stream.
+func runStudy(st *napawine.Study, workers int, csv bool, out io.Writer, ds *dash.Server, writeSVGs func([]plot.Artifact)) {
 	fmt.Fprintf(os.Stderr, "study %s: %d runs (%d apps × %d strategies × %d scenarios × %d variants × %d seeds)\n",
 		st.Name, st.Runs(), len(st.AppList()), len(st.StrategyList()),
 		len(st.ScenarioList()), len(st.VariantList()), len(st.SeedList()))
 	start := time.Now()
-	res, err := napawine.RunStudy(context.Background(), st,
-		napawine.WithWorkers(workers), napawine.WithObserver(&progress{start: start}))
+	opts := []napawine.StudyOption{
+		napawine.WithWorkers(workers),
+		napawine.WithObserver(&progress{start: start}),
+	}
+	if ds != nil {
+		if err := ds.BeginStudy(st); err != nil {
+			fatal(err)
+		}
+		opts = append(opts, napawine.WithObserver(ds))
+	}
+	res, err := napawine.RunStudy(context.Background(), st, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -479,12 +559,13 @@ func runStudy(st *napawine.Study, workers int, csv bool, out io.Writer) {
 
 	render := renderer(csv, out)
 	render(res.ComparisonTable())
+	writeSVGs(res.MetricBars())
 }
 
 // runSweep executes the replicated multi-seed battery and renders the
 // aggregated (mean ± stderr) tables. Figures and the hop sweep are
 // single-run reductions and are not replicated here.
-func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, peers int, leanLedger bool, workers int, exp string, csv bool, scn string, fileSpec *napawine.ScenarioSpec, strat string, out io.Writer) {
+func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, peers int, leanLedger bool, workers int, exp string, csv bool, scn string, fileSpec *napawine.ScenarioSpec, strat string, out io.Writer, ds *dash.Server, writeSVGs func([]plot.Artifact)) {
 	if exp == "fig1" || exp == "fig2" || exp == "hopsweep" {
 		fatal(fmt.Errorf("-exp %s is a single-run reduction; drop -seeds or use -seeds 1", exp))
 	}
@@ -500,7 +581,7 @@ func runSweep(appList []string, seed int64, trials int, duration time.Duration, 
 		fmt.Fprintf(os.Stderr, "strategy: %s\n", strat)
 	}
 	start := time.Now()
-	res, err := napawine.Sweep(napawine.SweepSpec{
+	spec := napawine.SweepSpec{
 		Apps:         appList,
 		BaseSeed:     seed,
 		Trials:       trials,
@@ -512,7 +593,15 @@ func runSweep(appList []string, seed int64, trials int, duration time.Duration, 
 		Scenario:     scn,
 		ScenarioSpec: fileSpec,
 		Strategy:     strat,
-	})
+	}
+	opts := []napawine.StudyOption{napawine.WithObserver(&progress{start: start})}
+	if ds != nil {
+		if err := ds.BeginStudy(spec.Study()); err != nil {
+			fatal(err)
+		}
+		opts = append(opts, napawine.WithObserver(ds))
+	}
+	res, err := napawine.SweepCtx(context.Background(), spec, opts...)
 	if err != nil {
 		fatal(err)
 	}
@@ -536,6 +625,7 @@ func runSweep(appList []string, seed int64, trials int, duration time.Duration, 
 			render(series)
 		}
 	}
+	writeSVGs(res.SeriesPlots())
 }
 
 func renderTableI(csv bool, out io.Writer) {

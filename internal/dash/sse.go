@@ -1,0 +1,110 @@
+package dash
+
+import (
+	"encoding/json"
+	"fmt"
+	"net/http"
+	"sync/atomic"
+)
+
+// subscriber is one open /events connection: a bounded event buffer the
+// broadcaster writes without ever blocking, plus a count of the events the
+// buffer was too full to take.
+type subscriber struct {
+	ch      chan []byte
+	dropped atomic.Int64
+}
+
+// event frames one SSE event: the name line, the JSON payload, a blank
+// separator. Marshalling happens here, once per broadcast, never per
+// subscriber.
+func event(name string, payload any) []byte {
+	data, err := json.Marshal(payload)
+	if err != nil {
+		// Views are plain structs; a marshal failure is a programming
+		// error, surfaced to every stream rather than silently dropped.
+		data = []byte(fmt.Sprintf(`{"error":%q}`, err.Error()))
+	}
+	return []byte("event: " + name + "\ndata: " + string(data) + "\n\n")
+}
+
+// broadcast offers the framed event to every subscriber. The send is
+// non-blocking: a full buffer counts a drop and moves on, so the slowest
+// browser in the room costs the simulation nothing.
+func (s *Server) broadcast(ev []byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	for sub := range s.subs {
+		select {
+		case sub.ch <- ev:
+		default:
+			sub.dropped.Add(1)
+		}
+	}
+}
+
+// subscribe registers a new subscriber and returns it along with a full
+// state snapshot, both produced under one lock acquisition so the snapshot
+// and the event stream tile exactly: no event is ever missing between them.
+func (s *Server) subscribe() (*subscriber, [][]byte) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	sub := &subscriber{ch: make(chan []byte, s.subBuffer)}
+	s.subs[sub] = struct{}{}
+	snapshot := [][]byte{event("study", s.studyJSONLocked())}
+	for i := range s.runs {
+		snapshot = append(snapshot, event("run", s.runJSONLocked(i)))
+	}
+	return sub, snapshot
+}
+
+func (s *Server) unsubscribe(sub *subscriber) {
+	s.mu.Lock()
+	delete(s.subs, sub)
+	s.mu.Unlock()
+}
+
+// handleEvents is the SSE endpoint. The handler goroutine is the writer:
+// it sends the hello snapshot, then relays buffered events until the
+// client goes away or the server closes. Drops accumulated while the
+// buffer was full are reported in-band as a `drop` event the next time the
+// stream catches up, so a consumer can tell a quiet study from a lossy
+// connection.
+func (s *Server) handleEvents(w http.ResponseWriter, r *http.Request) {
+	fl, ok := w.(http.Flusher)
+	if !ok {
+		http.Error(w, "streaming unsupported", http.StatusInternalServerError)
+		return
+	}
+	w.Header().Set("Content-Type", "text/event-stream")
+	w.Header().Set("Cache-Control", "no-store")
+	w.Header().Set("Connection", "keep-alive")
+
+	sub, snapshot := s.subscribe()
+	defer s.unsubscribe(sub)
+	for _, ev := range snapshot {
+		if _, err := w.Write(ev); err != nil {
+			return
+		}
+	}
+	fl.Flush()
+
+	for {
+		select {
+		case ev := <-sub.ch:
+			if _, err := w.Write(ev); err != nil {
+				return
+			}
+			if n := sub.dropped.Swap(0); n > 0 {
+				if _, err := w.Write(event("drop", map[string]int64{"dropped": n})); err != nil {
+					return
+				}
+			}
+			fl.Flush()
+		case <-r.Context().Done():
+			return
+		case <-s.quit:
+			return
+		}
+	}
+}

@@ -60,6 +60,13 @@ type Config struct {
 	// simulation goroutine; implementations must not block.
 	OnSample func(SeriesSample)
 
+	// ASSeriesK bounds per-AS time-series tracking to the K most-populated
+	// ASes: zero selects DefaultASSeriesK, negative disables the per-AS
+	// breakdown entirely. The bound keeps series memory at
+	// O(buckets·K) regardless of topology size, and the accounting rides
+	// the ledger's per-AS totals, so it works under LeanLedger too.
+	ASSeriesK int
+
 	World world.Spec
 
 	// Overlay constants (zero values select defaults).
@@ -432,7 +439,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		if err != nil {
 			return nil, fmt.Errorf("experiment: %w", err)
 		}
-		series = recordSeries(eng, net, cfg.Scenario.BucketCount(), cfg.Duration, cfg.OnSample)
+		series = recordSeries(eng, net, cfg.Scenario.BucketCount(), cfg.Duration, cfg.OnSample, cfg.ASSeriesK)
 	}
 
 	// Periodic spool flush bounds memory for hour-scale runs.

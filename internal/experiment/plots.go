@@ -1,0 +1,154 @@
+package experiment
+
+import (
+	"fmt"
+	"math"
+
+	"napawine/internal/plot"
+)
+
+// seriesMetric is one plottable column of the scenario time series; invalid
+// buckets map to NaN so the renderer breaks the line instead of plotting a
+// fake zero.
+type seriesMetric struct {
+	name   string // artifact stem and chart title fragment
+	ylabel string
+	get    func(SeriesSample) float64
+}
+
+var seriesMetrics = []seriesMetric{
+	{"online", "online peers",
+		func(s SeriesSample) float64 { return float64(s.Online) }},
+	{"continuity", "continuity",
+		func(s SeriesSample) float64 { return s.Continuity }},
+	{"intra-as", "intra-AS %", func(s SeriesSample) float64 {
+		if !s.IntraASValid {
+			return math.NaN()
+		}
+		return s.IntraASPct
+	}},
+	{"video-kbps", "video kbps",
+		func(s SeriesSample) float64 { return s.VideoKbps }},
+}
+
+// SeriesPlots renders the scenario time series of results as SVG line
+// charts: one chart per swarm-wide metric with one series per application,
+// plus per-AS breakdowns (online, continuity, intra-AS share; one series
+// per tracked AS) for every result that sampled them. Nil when no result
+// carried a series — mirroring SeriesTable.
+func SeriesPlots(results []*Result) []plot.Artifact {
+	scenario := ""
+	carried := false
+	for _, r := range results {
+		if r.Scenario != "" {
+			scenario = r.Scenario
+		}
+		if len(r.Series) > 0 {
+			carried = true
+		}
+	}
+	if !carried {
+		return nil
+	}
+
+	var arts []plot.Artifact
+	for _, m := range seriesMetrics {
+		l := &plot.Line{
+			Title:  fmt.Sprintf("%s — scenario %q", m.ylabel, scenario),
+			XLabel: "virtual time", YLabel: m.ylabel, XTime: true,
+		}
+		for _, r := range results {
+			if len(r.Series) == 0 {
+				continue
+			}
+			s := plot.Series{Name: r.App,
+				X: make([]float64, len(r.Series)), Y: make([]float64, len(r.Series))}
+			for i, smp := range r.Series {
+				s.X[i] = smp.T.Seconds()
+				s.Y[i] = m.get(smp)
+			}
+			l.Series = append(l.Series, s)
+		}
+		arts = append(arts, plot.Artifact{Name: "series-" + m.name, Chart: l})
+	}
+
+	for _, r := range results {
+		arts = append(arts, perASPlots(r, scenario)...)
+	}
+	return arts
+}
+
+// asMetric is one plottable column of the per-AS breakdown.
+type asMetric struct {
+	name   string
+	ylabel string
+	get    func(ASSample) float64
+}
+
+var asMetrics = []asMetric{
+	{"online", "online peers",
+		func(a ASSample) float64 { return float64(a.Online) }},
+	{"continuity", "continuity",
+		func(a ASSample) float64 { return a.Continuity }},
+	{"intra-as", "intra-AS %", func(a ASSample) float64 {
+		if !a.IntraValid {
+			return math.NaN()
+		}
+		return a.IntraPct
+	}},
+}
+
+// perASPlots renders one result's per-AS series: one chart per metric, one
+// series per tracked AS. Empty when the run sampled no per-AS breakdown.
+func perASPlots(r *Result, scenario string) []plot.Artifact {
+	if len(r.Series) == 0 || len(r.Series[0].PerAS) == 0 {
+		return nil
+	}
+	ases := r.Series[0].PerAS
+	var arts []plot.Artifact
+	for _, m := range asMetrics {
+		l := &plot.Line{
+			Title:  fmt.Sprintf("per-AS %s — %s, scenario %q", m.ylabel, r.App, scenario),
+			XLabel: "virtual time", YLabel: m.ylabel, XTime: true,
+		}
+		for slot, a := range ases {
+			s := plot.Series{Name: fmt.Sprintf("AS %d", a.AS),
+				X: make([]float64, len(r.Series)), Y: make([]float64, len(r.Series))}
+			for i, smp := range r.Series {
+				s.X[i] = smp.T.Seconds()
+				if slot < len(smp.PerAS) {
+					s.Y[i] = m.get(smp.PerAS[slot])
+				} else {
+					s.Y[i] = math.NaN()
+				}
+			}
+			l.Series = append(l.Series, s)
+		}
+		arts = append(arts, plot.Artifact{
+			Name:  fmt.Sprintf("per-as-%s-%s", m.name, plot.Slug(r.App)),
+			Chart: l,
+		})
+	}
+	return arts
+}
+
+// Figure1Plots renders each result's Figure-1 geographic breakdown as one
+// grouped SVG bar chart: countries on the x axis, the peer/RX/TX shares as
+// the three series — the graphical twin of RenderFigure1's ASCII bars.
+func Figure1Plots(results []*Result) []plot.Artifact {
+	var arts []plot.Artifact
+	for _, r := range results {
+		g := ComputeFigure1(r)
+		b := &plot.Bar{
+			Title:  fmt.Sprintf("Figure 1 — %s — geographic breakdown (%%)", g.App),
+			YLabel: "%", Groups: g.Labels,
+			Series: []plot.BarSeries{
+				{Name: "# peers", Vals: g.Peers},
+				{Name: "RX bytes", Vals: g.RX},
+				{Name: "TX bytes", Vals: g.TX},
+			},
+		}
+		arts = append(arts, plot.Artifact{Name: "fig1-" + plot.Slug(g.App), Chart: b})
+	}
+	return arts
+}

@@ -2,12 +2,14 @@ package experiment
 
 import (
 	"fmt"
+	"sort"
 	"time"
 
 	"napawine/internal/overlay"
 	"napawine/internal/report"
 	"napawine/internal/sim"
 	"napawine/internal/stats"
+	"napawine/internal/topology"
 )
 
 // SeriesSample is one time-series bucket of a scenario run: the swarm's
@@ -30,7 +32,35 @@ type SeriesSample struct {
 	VideoKbps float64
 	// TrackerUp reports whether the tracker was reachable at T.
 	TrackerUp bool
+	// PerAS breaks the bucket down by autonomous system for the run's
+	// tracked ASes (the top Config.ASSeriesK by initial population),
+	// ASN-ascending. Empty when per-AS sampling is disabled.
+	PerAS []ASSample
 }
+
+// ASSample is one AS's slice of a series bucket: how many of its peers are
+// online, how well they play, and how much of the video they received in
+// the bucket came from inside the AS — the per-AS view of Table IV's
+// locality row, resolved over time.
+type ASSample struct {
+	AS topology.ASN
+	// Online counts the AS's online non-source peers at the bucket end.
+	Online int
+	// Continuity is the mean playout continuity across those peers; zero
+	// when none are online.
+	Continuity float64
+	// IntraPct is the share of video bytes received by this AS's peers
+	// during the bucket that originated inside the same AS; IntraValid is
+	// false when the AS received no video this bucket.
+	IntraPct   float64
+	IntraValid bool
+}
+
+// DefaultASSeriesK is how many ASes a scenario run tracks when
+// Config.ASSeriesK is zero. Small on purpose: per-AS series cost
+// O(buckets·K) memory and the paper's topologies concentrate most peers in
+// a handful of ASes.
+const DefaultASSeriesK = 6
 
 // seriesRecorder samples the swarm at fixed bucket boundaries on the
 // engine's own clock, so the series is part of the deterministic event
@@ -45,12 +75,21 @@ type seriesRecorder struct {
 	// onSample, when non-nil, streams each bucket to the caller as it is
 	// recorded (the Config.OnSample hook).
 	onSample func(SeriesSample)
+
+	// Per-AS tracking, bounded to the top-K ASes by population at recorder
+	// creation. asTracked is ASN-ascending; asSlot maps an ASN to its index
+	// in the parallel slices. All empty/nil when per-AS sampling is off.
+	asTracked   []topology.ASN
+	asSlot      map[topology.ASN]int
+	prevASRx    []int64
+	prevASIntra []int64
 }
 
 // recordSeries installs a periodic sampler for `buckets` buckets across the
 // horizon and returns the recorder whose samples fill in as the run
-// progresses.
-func recordSeries(eng *sim.Engine, net *overlay.Network, buckets int, horizon time.Duration, onSample func(SeriesSample)) *seriesRecorder {
+// progresses. asK bounds per-AS tracking: 0 selects DefaultASSeriesK,
+// negative disables it.
+func recordSeries(eng *sim.Engine, net *overlay.Network, buckets int, horizon time.Duration, onSample func(SeriesSample), asK int) *seriesRecorder {
 	every := horizon / time.Duration(buckets)
 	if every <= 0 {
 		every = horizon
@@ -61,6 +100,12 @@ func recordSeries(eng *sim.Engine, net *overlay.Network, buckets int, horizon ti
 		bucketSecs: every.Seconds(),
 		onSample:   onSample,
 	}
+	if asK == 0 {
+		asK = DefaultASSeriesK
+	}
+	if asK > 0 {
+		r.trackTopASes(net, asK)
+	}
 	eng.Every(every, every, 0, func() {
 		if len(r.samples) >= buckets {
 			return
@@ -70,15 +115,57 @@ func recordSeries(eng *sim.Engine, net *overlay.Network, buckets int, horizon ti
 	return r
 }
 
+// trackTopASes fixes the recorder's tracked-AS set: the k most-populated
+// ASes among the swarm's current non-source peers (count descending, ASN
+// ascending on ties), stored ASN-ascending. The set is chosen once so each
+// AS's series stays continuous; peers that later join untracked ASes are
+// still counted in the swarm-wide columns, just not broken out.
+func (r *seriesRecorder) trackTopASes(net *overlay.Network, k int) {
+	counts := make(map[topology.ASN]int)
+	for _, nd := range net.Nodes() {
+		if nd.IsSource() {
+			continue
+		}
+		counts[nd.Host.AS]++
+	}
+	ases := make([]topology.ASN, 0, len(counts))
+	for as := range counts {
+		ases = append(ases, as)
+	}
+	sort.Slice(ases, func(i, j int) bool {
+		if counts[ases[i]] != counts[ases[j]] {
+			return counts[ases[i]] > counts[ases[j]]
+		}
+		return ases[i] < ases[j]
+	})
+	if len(ases) > k {
+		ases = ases[:k]
+	}
+	sort.Slice(ases, func(i, j int) bool { return ases[i] < ases[j] })
+	r.asTracked = ases
+	r.asSlot = make(map[topology.ASN]int, len(ases))
+	for i, as := range ases {
+		r.asSlot[as] = i
+	}
+	r.prevASRx = make([]int64, len(ases))
+	r.prevASIntra = make([]int64, len(ases))
+}
+
 func (r *seriesRecorder) sample(eng *sim.Engine, net *overlay.Network) {
 	online := 0
 	var cont stats.Accumulator
+	asOnline := make([]int, len(r.asTracked))
+	asCont := make([]stats.Accumulator, len(r.asTracked))
 	for _, nd := range net.Nodes() {
 		if nd.IsSource() || !nd.Online() {
 			continue
 		}
 		online++
 		cont.Add(nd.Continuity())
+		if slot, ok := r.asSlot[nd.Host.AS]; ok {
+			asOnline[slot]++
+			asCont[slot].Add(nd.Continuity())
+		}
 	}
 	intra := net.Ledger.VideoIntraAS - r.prevIntra
 	total := net.Ledger.VideoTotal - r.prevTotal
@@ -94,6 +181,21 @@ func (r *seriesRecorder) sample(eng *sim.Engine, net *overlay.Network) {
 	if total > 0 {
 		s.IntraASPct = 100 * float64(intra) / float64(total)
 		s.IntraASValid = true
+	}
+	if len(r.asTracked) > 0 {
+		s.PerAS = make([]ASSample, len(r.asTracked))
+		for i, as := range r.asTracked {
+			rx := net.Ledger.VideoRxByAS[as] - r.prevASRx[i]
+			asIntra := net.Ledger.VideoIntraByAS[as] - r.prevASIntra[i]
+			r.prevASRx[i] = net.Ledger.VideoRxByAS[as]
+			r.prevASIntra[i] = net.Ledger.VideoIntraByAS[as]
+			a := ASSample{AS: as, Online: asOnline[i], Continuity: asCont[i].Mean()}
+			if rx > 0 {
+				a.IntraPct = 100 * float64(asIntra) / float64(rx)
+				a.IntraValid = true
+			}
+			s.PerAS[i] = a
+		}
 	}
 	r.samples = append(r.samples, s)
 	if r.onSample != nil {
@@ -144,6 +246,52 @@ func SeriesTable(results []*Result) *report.Table {
 				report.PctOrDash(s.IntraASPct, s.IntraASValid),
 				fmt.Sprintf("%.0f", s.VideoKbps),
 				TrackerMark(s.TrackerUp))
+		}
+	}
+	return t
+}
+
+// ASSeriesTable renders the per-AS breakdown of the same runs, bucket-major
+// then ASN-ascending, so one bucket's ASes read as a block. Returns nil when
+// no run carried per-AS samples (no scenario, or ASSeriesK < 0).
+func ASSeriesTable(results []*Result) *report.Table {
+	name := ""
+	any := false
+	for _, r := range results {
+		if r.Scenario != "" {
+			name = r.Scenario
+		}
+		for _, s := range r.Series {
+			if len(s.PerAS) > 0 {
+				any = true
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	t := report.NewTable(
+		fmt.Sprintf("Per-AS time series — scenario %q", name),
+		"T", "App", "AS", "Online", "Continuity", "Intra-AS%")
+	buckets := 0
+	for _, r := range results {
+		if len(r.Series) > buckets {
+			buckets = len(r.Series)
+		}
+	}
+	for b := 0; b < buckets; b++ {
+		for _, r := range results {
+			if b >= len(r.Series) {
+				continue
+			}
+			s := r.Series[b]
+			for _, a := range s.PerAS {
+				t.Add(s.T.String(), r.App,
+					fmt.Sprintf("%d", a.AS),
+					fmt.Sprintf("%d", a.Online),
+					fmt.Sprintf("%.3f", a.Continuity),
+					report.PctOrDash(a.IntraPct, a.IntraValid))
+			}
 		}
 	}
 	return t

@@ -148,6 +148,113 @@ func TestScenarioRunFailover(t *testing.T) {
 	}
 }
 
+// TestScenarioSeriesPerAS pins the per-AS breakdown contract: every bucket
+// carries at most ASSeriesK tracked ASes, ASN-ascending and identical
+// across buckets; per-AS online counts partition within the swarm total;
+// and the shares stay in range.
+func TestScenarioSeriesPerAS(t *testing.T) {
+	r, err := Run(scenarioConfig("flashcrowd", 5))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(r.Series) == 0 {
+		t.Fatal("no series")
+	}
+	first := r.Series[0].PerAS
+	if len(first) == 0 || len(first) > DefaultASSeriesK {
+		t.Fatalf("bucket 0 tracks %d ASes, want 1..%d", len(first), DefaultASSeriesK)
+	}
+	for b, s := range r.Series {
+		if len(s.PerAS) != len(first) {
+			t.Fatalf("bucket %d tracks %d ASes, bucket 0 tracked %d", b, len(s.PerAS), len(first))
+		}
+		asOnline := 0
+		for i, a := range s.PerAS {
+			if a.AS != first[i].AS {
+				t.Errorf("bucket %d slot %d is AS %d, bucket 0 had AS %d — tracked set drifted", b, i, a.AS, first[i].AS)
+			}
+			if i > 0 && a.AS <= s.PerAS[i-1].AS {
+				t.Errorf("bucket %d per-AS not ASN-ascending: %d after %d", b, a.AS, s.PerAS[i-1].AS)
+			}
+			if a.Online < 0 || a.Online > s.Online {
+				t.Errorf("bucket %d AS %d online %d outside [0,%d]", b, a.AS, a.Online, s.Online)
+			}
+			if a.Continuity < 0 || a.Continuity > 1 {
+				t.Errorf("bucket %d AS %d continuity %v outside [0,1]", b, a.AS, a.Continuity)
+			}
+			if a.IntraValid && (a.IntraPct < 0 || a.IntraPct > 100) {
+				t.Errorf("bucket %d AS %d intra %v%% outside [0,100]", b, a.AS, a.IntraPct)
+			}
+			asOnline += a.Online
+		}
+		if asOnline > s.Online {
+			t.Errorf("bucket %d tracked-AS online sum %d exceeds swarm online %d", b, asOnline, s.Online)
+		}
+	}
+	tab := ASSeriesTable([]*Result{r})
+	if tab == nil {
+		t.Fatal("ASSeriesTable returned nil for a run with per-AS samples")
+	}
+	if want := len(r.Series) * len(first); len(tab.Rows) != want {
+		t.Errorf("per-AS table has %d rows, want %d", len(tab.Rows), want)
+	}
+	if !strings.Contains(tab.Title, "flashcrowd") {
+		t.Errorf("per-AS table title %q does not name the scenario", tab.Title)
+	}
+}
+
+// TestScenarioSeriesPerASKnobs: ASSeriesK bounds and disables the
+// breakdown, and the accounting survives LeanLedger (the maps it rides are
+// O(ASes), kept in both ledger modes).
+func TestScenarioSeriesPerASKnobs(t *testing.T) {
+	cfg := scenarioConfig("steady", 3)
+	cfg.ASSeriesK = 1
+	r, err := Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, s := range r.Series {
+		if len(s.PerAS) != 1 {
+			t.Fatalf("bucket %d tracks %d ASes with ASSeriesK=1", b, len(s.PerAS))
+		}
+	}
+
+	cfg = scenarioConfig("steady", 3)
+	cfg.ASSeriesK = -1
+	r, err = Run(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for b, s := range r.Series {
+		if len(s.PerAS) != 0 {
+			t.Fatalf("bucket %d carries per-AS samples with ASSeriesK=-1", b)
+		}
+	}
+	if tab := ASSeriesTable([]*Result{r}); tab != nil {
+		t.Errorf("disabled per-AS sampling still produced a table: %q", tab.Title)
+	}
+
+	lean := scenarioConfig("steady", 3)
+	lean.LeanLedger = true
+	lr, err := Run(lean)
+	if err != nil {
+		t.Fatal(err)
+	}
+	full, err := Run(scenarioConfig("steady", 3))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(lr.Series) != len(full.Series) {
+		t.Fatalf("lean run has %d buckets, full %d", len(lr.Series), len(full.Series))
+	}
+	for b := range full.Series {
+		if !reflect.DeepEqual(full.Series[b].PerAS, lr.Series[b].PerAS) {
+			t.Errorf("bucket %d per-AS diverged under LeanLedger:\n full %+v\n lean %+v",
+				b, full.Series[b].PerAS, lr.Series[b].PerAS)
+		}
+	}
+}
+
 // TestScenarioRunZapping: the zapping scenario dips the online population
 // inside its window and refills it afterwards.
 func TestScenarioRunZapping(t *testing.T) {

@@ -216,6 +216,15 @@ type Ledger struct {
 	VideoTotal   int64
 	VideoIntraAS int64
 
+	// Per-AS video received by peers in each AS, total and intra-AS — the
+	// per-AS counterpart of the two scalars above, so samplers can report
+	// each AS's locality share over time (the partition scenario's
+	// observable). Maintained in lean mode too: the key space is the AS
+	// count (tens), not the peer count, so the maps stay O(ASes) and never
+	// threaten the lean ledger's memory contract.
+	VideoRxByAS    map[topology.ASN]int64
+	VideoIntraByAS map[topology.ASN]int64
+
 	// DiffusionDelaySum accumulates, over every first-time chunk delivery
 	// to a peer, the virtual time between the chunk's calendar birth and
 	// its arrival; DiffusionChunks counts those deliveries. Their ratio is
@@ -234,32 +243,40 @@ type Ledger struct {
 
 func newLedger(lean bool) *Ledger {
 	if lean {
-		return &Ledger{lean: true}
+		return &Ledger{
+			lean:           true,
+			VideoRxByAS:    make(map[topology.ASN]int64),
+			VideoIntraByAS: make(map[topology.ASN]int64),
+		}
 	}
 	return &Ledger{
-		VideoByPair:  make(map[[2]PeerID]int64),
-		VideoRx:      make(map[PeerID]int64),
-		VideoTx:      make(map[PeerID]int64),
-		SignalRx:     make(map[PeerID]int64),
-		SignalTx:     make(map[PeerID]int64),
-		ChunksServed: make(map[PeerID]int64),
-		Rejections:   make(map[PeerID]int64),
-		Timeouts:     make(map[PeerID]int64),
+		VideoByPair:    make(map[[2]PeerID]int64),
+		VideoRx:        make(map[PeerID]int64),
+		VideoTx:        make(map[PeerID]int64),
+		SignalRx:       make(map[PeerID]int64),
+		SignalTx:       make(map[PeerID]int64),
+		ChunksServed:   make(map[PeerID]int64),
+		Rejections:     make(map[PeerID]int64),
+		Timeouts:       make(map[PeerID]int64),
+		VideoRxByAS:    make(map[topology.ASN]int64),
+		VideoIntraByAS: make(map[topology.ASN]int64),
 	}
 }
 
 // Lean reports whether per-peer and per-pair accounting is disabled.
 func (l *Ledger) Lean() bool { return l.lean }
 
-func (l *Ledger) video(from, to PeerID, n int64, sameAS bool) {
+func (l *Ledger) video(from, to PeerID, n int64, toAS topology.ASN, sameAS bool) {
 	if !l.lean {
 		l.VideoByPair[[2]PeerID{from, to}] += n
 		l.VideoTx[from] += n
 		l.VideoRx[to] += n
 	}
 	l.VideoTotal += n
+	l.VideoRxByAS[toAS] += n
 	if sameAS {
 		l.VideoIntraAS += n
+		l.VideoIntraByAS[toAS] += n
 	}
 }
 

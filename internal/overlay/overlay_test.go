@@ -735,11 +735,46 @@ func TestLeanLedgerMatchesFullRun(t *testing.T) {
 		t.Error("lean run moved no video; totals not exercised")
 	}
 
-	// Lean mode allocates no maps at all.
+	// Lean mode allocates no per-peer maps at all.
 	if ll.VideoByPair != nil || ll.VideoRx != nil || ll.VideoTx != nil ||
 		ll.SignalRx != nil || ll.SignalTx != nil || ll.ChunksServed != nil ||
 		ll.Rejections != nil || ll.Timeouts != nil {
 		t.Error("lean ledger allocated per-peer maps")
+	}
+
+	// Per-AS accounting is O(ASes), not O(peers), so it survives lean mode
+	// and must be byte-identical across modes.
+	if ll.VideoRxByAS == nil || ll.VideoIntraByAS == nil {
+		t.Fatal("lean ledger dropped per-AS maps; per-AS series need them in both modes")
+	}
+	if len(fl.VideoRxByAS) != len(ll.VideoRxByAS) {
+		t.Errorf("per-AS rx map sizes diverged: full=%d lean=%d", len(fl.VideoRxByAS), len(ll.VideoRxByAS))
+	}
+	sumAS := func(m map[topology.ASN]int64) int64 {
+		var s int64
+		for _, v := range m {
+			s += v
+		}
+		return s
+	}
+	for as, v := range fl.VideoRxByAS {
+		if ll.VideoRxByAS[as] != v {
+			t.Errorf("AS %d rx diverged: full=%d lean=%d", as, v, ll.VideoRxByAS[as])
+		}
+	}
+	for as, v := range fl.VideoIntraByAS {
+		if ll.VideoIntraByAS[as] != v {
+			t.Errorf("AS %d intra diverged: full=%d lean=%d", as, v, ll.VideoIntraByAS[as])
+		}
+		if v > fl.VideoRxByAS[as] {
+			t.Errorf("AS %d intra %d exceeds rx %d", as, v, fl.VideoRxByAS[as])
+		}
+	}
+	if sumAS(fl.VideoRxByAS) != fl.VideoTotal {
+		t.Errorf("VideoRxByAS sums to %d, VideoTotal %d", sumAS(fl.VideoRxByAS), fl.VideoTotal)
+	}
+	if sumAS(fl.VideoIntraByAS) != fl.VideoIntraAS {
+		t.Errorf("VideoIntraByAS sums to %d, VideoIntraAS %d", sumAS(fl.VideoIntraByAS), fl.VideoIntraAS)
 	}
 
 	// Full-mode maps sum to the scalars both modes maintain.

@@ -116,7 +116,7 @@ func (nd *Node) serveChunk(requester *Node, id chunkstream.ChunkID) {
 		}
 	}
 
-	net.Ledger.video(nd.ID, requester.ID, int64(chunkSize), nd.Host.AS == requester.Host.AS)
+	net.Ledger.video(nd.ID, requester.ID, int64(chunkSize), requester.Host.AS, nd.Host.AS == requester.Host.AS)
 	net.Ledger.chunkServed(nd.ID)
 	if nd.isSource {
 		net.Ledger.SourceVideoTx += int64(chunkSize)

@@ -1,0 +1,59 @@
+package plot
+
+import (
+	"fmt"
+	"os"
+	"path/filepath"
+	"strings"
+)
+
+// Slug reduces a human label to a safe, stable file stem: lower-cased,
+// runs of non-alphanumerics collapsed to single dashes ("Source kbps" →
+// "source-kbps", "AS B'D%" → "as-b-d").
+func Slug(label string) string {
+	var b strings.Builder
+	dash := false
+	for _, r := range strings.ToLower(label) {
+		switch {
+		case r >= 'a' && r <= 'z' || r >= '0' && r <= '9':
+			if dash && b.Len() > 0 {
+				b.WriteByte('-')
+			}
+			dash = false
+			b.WriteRune(r)
+		default:
+			dash = true
+		}
+	}
+	if b.Len() == 0 {
+		return "chart"
+	}
+	return b.String()
+}
+
+// WriteDir renders every artifact into dir as <Name>.svg, creating the
+// directory if needed, and returns the written paths in artifact order. The
+// first render or write error aborts the batch — a partial artifact set
+// must be loud, not a silent gap in a results directory.
+func WriteDir(dir string, arts []Artifact) ([]string, error) {
+	if err := os.MkdirAll(dir, 0o755); err != nil {
+		return nil, fmt.Errorf("plot: %w", err)
+	}
+	paths := make([]string, 0, len(arts))
+	for _, a := range arts {
+		path := filepath.Join(dir, a.Name+".svg")
+		f, err := os.Create(path)
+		if err != nil {
+			return nil, fmt.Errorf("plot: %w", err)
+		}
+		err = a.Chart.Render(f)
+		if cerr := f.Close(); err == nil {
+			err = cerr
+		}
+		if err != nil {
+			return nil, fmt.Errorf("plot: render %s: %w", path, err)
+		}
+		paths = append(paths, path)
+	}
+	return paths, nil
+}

@@ -1,0 +1,231 @@
+package plot
+
+import (
+	"bytes"
+	"encoding/xml"
+	"flag"
+	"math"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// -update regenerates the golden SVG files from the current renderer. Run
+// it only for a change that *intends* to alter plotted output, and say so
+// in the commit.
+var update = flag.Bool("update", false, "rewrite golden SVG files")
+
+// wellFormed fails the test unless the document parses as XML end to end —
+// the TestMain-level guarantee that no emitted artifact is ever a broken
+// document. Every render in this package's tests must pass through here.
+func wellFormed(t *testing.T, svg []byte) {
+	t.Helper()
+	dec := xml.NewDecoder(bytes.NewReader(svg))
+	for {
+		_, err := dec.Token()
+		if err != nil {
+			if err.Error() == "EOF" {
+				return
+			}
+			t.Fatalf("emitted SVG is not well-formed XML: %v\n%s", err, svg)
+		}
+	}
+}
+
+// checkGolden compares got against testdata/<name>, rewriting under -update.
+func checkGolden(t *testing.T, name string, got []byte) {
+	t.Helper()
+	path := filepath.Join("testdata", name)
+	if *update {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, got, 0o644); err != nil {
+			t.Fatal(err)
+		}
+		return
+	}
+	want, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("missing golden file (run go test ./internal/plot -update): %v", err)
+	}
+	if !bytes.Equal(got, want) {
+		t.Errorf("%s drifted from golden (%d bytes got, %d want); SVG output must be byte-deterministic.\nIf the change is intended, regenerate with -update and say so in the commit.",
+			name, len(got), len(want))
+	}
+}
+
+// goldenLine is the seed-fixed series fixture: two series over the same
+// instants, one carrying a ±stderr band, plus a NaN hole that must split
+// the line, exercising every path command the renderer emits.
+func goldenLine() *Line {
+	x := []float64{0, 30, 60, 90, 120, 150}
+	return &Line{
+		Title:  "Continuity — scenario \"flash<crowd>\"",
+		XLabel: "virtual time",
+		YLabel: "continuity",
+		XTime:  true,
+		Series: []Series{
+			{
+				Name: "PPLive",
+				X:    x,
+				Y:    []float64{0.91, 0.94, math.NaN(), 0.97, 0.96, 0.98},
+			},
+			{
+				Name: "TVAnts",
+				X:    x,
+				Y:    []float64{0.88, 0.9, 0.93, 0.92, 0.95, 0.94},
+				Lo:   []float64{0.86, 0.88, 0.91, 0.9, 0.93, 0.92},
+				Hi:   []float64{0.9, 0.92, 0.95, 0.94, 0.97, 0.96},
+			},
+		},
+	}
+}
+
+// goldenBar is the pivot fixture: three groups × two series with whiskers
+// and one unmeasured cell (the tables' dash convention).
+func goldenBar() *Bar {
+	return &Bar{
+		Title:  "Study \"strategy-comparison\" — Source kbps",
+		YLabel: "kbps",
+		Groups: []string{"PPLive urgent-random", "PPLive rarest", "TVAnts rarest"},
+		Series: []BarSeries{
+			{
+				Name: "Source kbps",
+				Vals: []float64{412.5, 388.25, 501},
+				Errs: []float64{12.5, 9.75, 0},
+			},
+			{
+				Name:  "Intra-AS%",
+				Vals:  []float64{41.2, 0, 38.9},
+				Errs:  []float64{2.1, 0, 1.4},
+				Valid: []bool{true, false, true},
+			},
+		},
+	}
+}
+
+func renderTo(t *testing.T, c Artifact) []byte {
+	t.Helper()
+	var buf bytes.Buffer
+	if err := c.Chart.Render(&buf); err != nil {
+		t.Fatal(err)
+	}
+	wellFormed(t, buf.Bytes())
+	return buf.Bytes()
+}
+
+func TestLineGolden(t *testing.T) {
+	got := renderTo(t, Artifact{"line", goldenLine()})
+	checkGolden(t, "line.svg", got)
+}
+
+func TestBarGolden(t *testing.T) {
+	got := renderTo(t, Artifact{"bar", goldenBar()})
+	checkGolden(t, "bar.svg", got)
+}
+
+// TestDeterministicRender pins the byte-identical contract directly: the
+// same input must render the same bytes across repeated calls (no map
+// iteration, no timestamps, no pointer-dependent state on the render path).
+func TestDeterministicRender(t *testing.T) {
+	a := renderTo(t, Artifact{"l", goldenLine()})
+	b := renderTo(t, Artifact{"l", goldenLine()})
+	if !bytes.Equal(a, b) {
+		t.Error("two renders of the identical Line differ")
+	}
+	a = renderTo(t, Artifact{"b", goldenBar()})
+	b = renderTo(t, Artifact{"b", goldenBar()})
+	if !bytes.Equal(a, b) {
+		t.Error("two renders of the identical Bar differ")
+	}
+}
+
+// TestEmptyAndDegenerateInputs: charts over no data, single points and
+// all-NaN series must still render well-formed documents, never panic or
+// emit broken paths.
+func TestEmptyAndDegenerateInputs(t *testing.T) {
+	for _, c := range []Artifact{
+		{"empty-line", &Line{Title: "empty"}},
+		{"one-point", &Line{Series: []Series{{Name: "p", X: []float64{5}, Y: []float64{2}}}}},
+		{"all-nan", &Line{Series: []Series{{Name: "n", X: []float64{0, 1}, Y: []float64{math.NaN(), math.Inf(1)}}}}},
+		{"flat", &Line{Series: []Series{{Name: "f", X: []float64{0, 1}, Y: []float64{3, 3}}}}},
+		{"empty-bar", &Bar{Title: "empty"}},
+		{"no-valid-bar", &Bar{Groups: []string{"g"}, Series: []BarSeries{{Name: "s", Vals: []float64{1}, Valid: []bool{false}}}}},
+	} {
+		svg := renderTo(t, c)
+		if !strings.Contains(string(svg), "</svg>") {
+			t.Errorf("%s: truncated document", c.Name)
+		}
+	}
+}
+
+// TestEscaping: titles, labels and series names with XML metacharacters
+// must be escaped, pinned by the parser.
+func TestEscaping(t *testing.T) {
+	l := &Line{
+		Title:  `a<b & "c">`,
+		XLabel: "<x>",
+		YLabel: "&y",
+		Series: []Series{
+			{Name: `s<1> & "q"`, X: []float64{0, 1}, Y: []float64{1, 2}},
+			{Name: "s2", X: []float64{0, 1}, Y: []float64{2, 1}},
+		},
+	}
+	svg := renderTo(t, Artifact{"esc", l})
+	if strings.Contains(string(svg), `a<b`) {
+		t.Error("unescaped title leaked into the document")
+	}
+}
+
+func TestSlug(t *testing.T) {
+	for _, tc := range []struct{ in, want string }{
+		{"Source kbps", "source-kbps"},
+		{"AS B'D%", "as-b-d"},
+		{"continuity", "continuity"},
+		{"--", "chart"},
+		{"Time series — scenario \"x\"", "time-series-scenario-x"},
+	} {
+		if got := Slug(tc.in); got != tc.want {
+			t.Errorf("Slug(%q) = %q, want %q", tc.in, got, tc.want)
+		}
+	}
+}
+
+func TestWriteDir(t *testing.T) {
+	dir := filepath.Join(t.TempDir(), "svg")
+	paths, err := WriteDir(dir, []Artifact{
+		{"line", goldenLine()},
+		{"bar", goldenBar()},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(paths) != 2 {
+		t.Fatalf("wrote %d artifacts, want 2", len(paths))
+	}
+	for _, p := range paths {
+		b, err := os.ReadFile(p)
+		if err != nil {
+			t.Fatal(err)
+		}
+		wellFormed(t, b)
+	}
+}
+
+func TestTicksCoverRange(t *testing.T) {
+	for _, tc := range []struct{ lo, hi float64 }{
+		{0, 1}, {0, 237686}, {0.85, 0.99}, {-5, 5}, {0, 0.0001},
+	} {
+		tv, _ := ticks(tc.lo, tc.hi, 5)
+		if len(tv) < 2 {
+			t.Errorf("ticks(%v, %v) = %v: fewer than 2 ticks", tc.lo, tc.hi, tv)
+		}
+		for _, v := range tv {
+			if v < tc.lo-1e-9 || v > tc.hi+1e-9 {
+				t.Errorf("ticks(%v, %v): tick %v outside range", tc.lo, tc.hi, v)
+			}
+		}
+	}
+}

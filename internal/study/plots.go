@@ -1,0 +1,89 @@
+package study
+
+import (
+	"strings"
+
+	"napawine/internal/plot"
+)
+
+// MetricBars renders the study's comparison as SVG bar charts: one chart
+// per metric, one bar group per combination of the grid's non-trivial axes
+// (the same rows ComparisonTable prints), each bar the mean across seeds
+// with a stderr whisker. Unmeasured combinations render as the bar-chart
+// dash: a gap. No metrics selects the study's own (then DefaultMetrics).
+func (r *Result) MetricBars(ms ...Metric) []plot.Artifact {
+	if len(ms) == 0 {
+		for _, key := range r.Study.Metrics {
+			if m, err := MetricByKey(key); err == nil {
+				ms = append(ms, m)
+			}
+		}
+	}
+	if len(ms) == 0 {
+		ms = DefaultMetrics()
+	}
+	var axes []Axis
+	for _, ax := range Axes() {
+		if ax == AxisSeed {
+			continue
+		}
+		if len(r.Levels(ax)) > 1 {
+			axes = append(axes, ax)
+		}
+	}
+	if len(axes) == 0 {
+		axes = []Axis{AxisApp}
+	}
+
+	// One bar group per distinct axis-coordinate combination, grid order —
+	// exactly ComparisonTable's rows.
+	var groups []string
+	var combos [][]string
+	seen := map[string]bool{}
+	for _, c := range r.Cells {
+		key := ""
+		coords := make([]string, len(axes))
+		for i, ax := range axes {
+			coords[i] = c.Coord(ax)
+			key += coords[i] + "\x00"
+		}
+		if seen[key] {
+			continue
+		}
+		seen[key] = true
+		groups = append(groups, strings.Join(coords, " "))
+		combos = append(combos, coords)
+	}
+
+	arts := make([]plot.Artifact, 0, len(ms))
+	for _, m := range ms {
+		bs := plot.BarSeries{Name: m.Label,
+			Vals:  make([]float64, len(combos)),
+			Errs:  make([]float64, len(combos)),
+			Valid: make([]bool, len(combos)),
+		}
+		for i, coords := range combos {
+			acc := r.accumulate(m, func(c Cell) bool {
+				for j, ax := range axes {
+					if c.Coord(ax) != coords[j] {
+						return false
+					}
+				}
+				return true
+			})
+			if acc.N() > 0 {
+				bs.Vals[i] = acc.Mean()
+				bs.Errs[i] = acc.StdErr()
+				bs.Valid[i] = true
+			}
+		}
+		arts = append(arts, plot.Artifact{
+			Name: "study-" + plot.Slug(m.Label),
+			Chart: &plot.Bar{
+				Title:  "Study \"" + r.Study.Name + "\" — " + m.Label,
+				YLabel: m.Label, Groups: groups, Series: []plot.BarSeries{bs},
+			},
+		})
+	}
+	return arts
+}

@@ -25,6 +25,32 @@ type RunInfo struct {
 	Seed     int64
 }
 
+// info is the one place a cell becomes a RunInfo, so Run's callbacks and
+// RunInfos' pre-enumeration can never disagree about a cell's identity.
+func (c cell) info(total int) RunInfo {
+	return RunInfo{
+		Index: c.index, Total: total,
+		App: c.app, Strategy: c.strategy, Scenario: c.scnLabel,
+		Variant: c.varName, Seed: c.seed,
+	}
+}
+
+// RunInfos enumerates the study's grid in execution order without running
+// anything — the same RunInfo values, Index and Total included, that Run
+// will later hand to observers. Dashboards use it to pre-populate a
+// pending-cell grid before the first OnRunStart fires.
+func (st *Study) RunInfos() ([]RunInfo, error) {
+	cells, err := st.resolveGrid()
+	if err != nil {
+		return nil, err
+	}
+	infos := make([]RunInfo, len(cells))
+	for i, c := range cells {
+		infos[i] = c.info(len(cells))
+	}
+	return infos, nil
+}
+
 // Label renders the cell's non-default coordinates for progress lines.
 func (r RunInfo) Label() string {
 	s := r.App
@@ -57,9 +83,9 @@ type Observer interface {
 
 // options collects Run's functional options.
 type options struct {
-	workers  int
-	observer Observer
-	keepFull bool
+	workers   int
+	observers []Observer
+	keepFull  bool
 }
 
 // Option configures Run.
@@ -68,8 +94,44 @@ type Option func(*options)
 // WithWorkers bounds parallel cells (0 = GOMAXPROCS).
 func WithWorkers(n int) Option { return func(o *options) { o.workers = n } }
 
-// WithObserver streams progress and time-series buckets to obs.
-func WithObserver(obs Observer) Option { return func(o *options) { o.observer = obs } }
+// WithObserver streams progress and time-series buckets to obs. Repeated
+// options accumulate: every observer sees every callback, in the order the
+// options were given, so a CLI progress printer and a dashboard can watch
+// the same study without knowing about each other. A nil obs is ignored.
+func WithObserver(obs Observer) Option {
+	return func(o *options) {
+		if obs != nil {
+			o.observers = append(o.observers, obs)
+		}
+	}
+}
+
+// fanout composes the registered observers into one. Each delivery is
+// panic-isolated per observer: a misbehaving dashboard callback must never
+// take down the study (or starve the observers registered after it), so a
+// panic is swallowed and that observer simply misses the event.
+type fanout []Observer
+
+func (f fanout) each(call func(Observer)) {
+	for _, obs := range f {
+		func() {
+			defer func() { _ = recover() }()
+			call(obs)
+		}()
+	}
+}
+
+func (f fanout) OnRunStart(info RunInfo) {
+	f.each(func(o Observer) { o.OnRunStart(info) })
+}
+
+func (f fanout) OnRunDone(info RunInfo, sum experiment.Summary, err error) {
+	f.each(func(o Observer) { o.OnRunDone(info, sum, err) })
+}
+
+func (f fanout) OnSample(info RunInfo, s experiment.SeriesSample) {
+	f.each(func(o Observer) { o.OnSample(info, s) })
+}
 
 // WithFullResults retains every cell's full experiment.Result (Result.Full)
 // instead of only its bounded summary. Memory then grows with the grid, not
@@ -141,6 +203,10 @@ func Run(ctx context.Context, st *Study, opts ...Option) (*Result, error) {
 	if err != nil {
 		return nil, err
 	}
+	var observer Observer
+	if len(o.observers) > 0 {
+		observer = fanout(o.observers)
+	}
 
 	type out struct {
 		sum  experiment.Summary
@@ -161,25 +227,21 @@ func Run(ctx context.Context, st *Study, opts ...Option) (*Result, error) {
 		if failed.Load() {
 			return out{}, errCellSkipped
 		}
-		info := RunInfo{
-			Index: c.index, Total: total,
-			App: c.app, Strategy: c.strategy, Scenario: c.scnLabel,
-			Variant: c.varName, Seed: c.seed,
-		}
-		if o.observer != nil {
-			o.observer.OnRunStart(info)
+		info := c.info(total)
+		if observer != nil {
+			observer.OnRunStart(info)
 		}
 		cfg, err := c.config(st)
 		if err == nil {
-			if o.observer != nil && c.scn != nil {
-				obs := o.observer
+			if observer != nil && c.scn != nil {
+				obs := observer
 				cfg.OnSample = func(s experiment.SeriesSample) { obs.OnSample(info, s) }
 			}
 			var r *experiment.Result
 			if r, err = experiment.RunCtx(ctx, cfg); err == nil {
 				sum := experiment.Summarize(r)
-				if o.observer != nil {
-					o.observer.OnRunDone(info, sum, nil)
+				if observer != nil {
+					observer.OnRunDone(info, sum, nil)
 				}
 				res := out{sum: sum, done: true}
 				if o.keepFull {
@@ -195,8 +257,8 @@ func Run(ctx context.Context, st *Study, opts ...Option) (*Result, error) {
 			failIdx, firstErr = c.index, wrapped
 		}
 		failMu.Unlock()
-		if o.observer != nil {
-			o.observer.OnRunDone(info, experiment.Summary{}, err)
+		if observer != nil {
+			observer.OnRunDone(info, experiment.Summary{}, err)
 		}
 		return out{}, wrapped
 	})

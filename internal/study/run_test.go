@@ -186,6 +186,111 @@ func TestObserverStreamsRunsAndSeries(t *testing.T) {
 	}
 }
 
+// TestMultiObserverFanout pins the multi-observer contract: repeated
+// WithObserver options accumulate, every observer sees every callback in
+// registration order, a panicking observer is isolated (the study and the
+// observers after it are unharmed), and nil observers are ignored.
+func TestMultiObserverFanout(t *testing.T) {
+	st := miniStudy()
+	st.Strategies = []string{""}
+	st.Scenarios = []Scenario{{Name: "steady"}}
+
+	var mu sync.Mutex
+	var order []string
+	record := func(tag string) { mu.Lock(); order = append(order, tag); mu.Unlock() }
+
+	panicky := observerFuncs{
+		start: func(RunInfo) { record("a"); panic("observer a misbehaves") },
+		done:  func(RunInfo, experiment.Summary, error) { panic("observer a misbehaves") },
+	}
+	second := &countingObserver{}
+	third := observerFuncs{start: func(RunInfo) { record("c") }}
+
+	res, err := Run(context.Background(), st,
+		WithObserver(panicky),
+		WithObserver(nil),
+		WithObserver(second),
+		WithObserver(third),
+		WithWorkers(1))
+	if err != nil {
+		t.Fatalf("a panicking observer failed the study: %v", err)
+	}
+	for _, c := range res.Cells {
+		if !c.Done {
+			t.Errorf("cell %d did not run", c.Index)
+		}
+	}
+	second.mu.Lock()
+	defer second.mu.Unlock()
+	if second.starts != len(res.Cells) || second.dones != len(res.Cells) || second.samples == 0 {
+		t.Errorf("observer after the panicking one missed events: %d starts, %d dones, %d samples",
+			second.starts, second.dones, second.samples)
+	}
+	mu.Lock()
+	defer mu.Unlock()
+	if len(order)%2 != 0 {
+		t.Fatalf("start fan-out misfired: order %v", order)
+	}
+	for i := 0; i < len(order); i += 2 {
+		if order[i] != "a" || order[i+1] != "c" {
+			t.Errorf("observers fired out of registration order: %v", order)
+			break
+		}
+	}
+}
+
+// observerFuncs adapts bare funcs to Observer; nil fields are no-ops.
+type observerFuncs struct {
+	start  func(RunInfo)
+	done   func(RunInfo, experiment.Summary, error)
+	sample func(RunInfo, experiment.SeriesSample)
+}
+
+func (o observerFuncs) OnRunStart(i RunInfo) {
+	if o.start != nil {
+		o.start(i)
+	}
+}
+
+func (o observerFuncs) OnRunDone(i RunInfo, s experiment.Summary, err error) {
+	if o.done != nil {
+		o.done(i, s, err)
+	}
+}
+
+func (o observerFuncs) OnSample(i RunInfo, s experiment.SeriesSample) {
+	if o.sample != nil {
+		o.sample(i, s)
+	}
+}
+
+// TestRunInfosMatchesObservedCells: RunInfos pre-enumerates exactly the
+// RunInfo values Run later delivers, in grid order.
+func TestRunInfosMatchesObservedCells(t *testing.T) {
+	st := miniStudy()
+	infos, err := st.RunInfos()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var mu sync.Mutex
+	seen := make(map[int]RunInfo)
+	obs := observerFuncs{start: func(i RunInfo) { mu.Lock(); seen[i.Index] = i; mu.Unlock() }}
+	if _, err := Run(context.Background(), st, WithObserver(obs)); err != nil {
+		t.Fatal(err)
+	}
+	if len(seen) != len(infos) {
+		t.Fatalf("RunInfos enumerated %d cells, Run started %d", len(infos), len(seen))
+	}
+	for i, want := range infos {
+		if want.Index != i || want.Total != len(infos) {
+			t.Errorf("infos[%d] has Index=%d Total=%d", i, want.Index, want.Total)
+		}
+		if got := seen[i]; got != want {
+			t.Errorf("cell %d: RunInfos says %+v, Run delivered %+v", i, want, got)
+		}
+	}
+}
+
 // TestRunCancellationMidBattery is the cancellation contract: a study
 // cancelled mid-flight returns ctx.Err() promptly, leaks no goroutines,
 // and hands back well-formed partial results for the cells that finished.

@@ -28,6 +28,7 @@ import (
 	"napawine/internal/core"
 	"napawine/internal/experiment"
 	"napawine/internal/overlay"
+	"napawine/internal/plot"
 	"napawine/internal/policy"
 	"napawine/internal/report"
 	"napawine/internal/runner"
@@ -174,10 +175,11 @@ func (s Scale) Battery() *Study {
 }
 
 // RunAll executes the selected applications' experiments in parallel and
-// returns them in the paper's order.
-func RunAll(s Scale) ([]*Result, error) {
+// returns them in the paper's order. Extra study options (an Observer —
+// e.g. a dash.Server — say) are forwarded to the underlying engine.
+func RunAll(s Scale, opts ...StudyOption) ([]*Result, error) {
 	res, err := study.Run(context.Background(), s.Battery(),
-		study.WithWorkers(s.Workers), study.WithFullResults())
+		append([]study.Option{study.WithWorkers(s.Workers), study.WithFullResults()}, opts...)...)
 	if err != nil {
 		return nil, err
 	}
@@ -310,6 +312,10 @@ type (
 	ScenarioEvent = scenario.Event
 	// SeriesSample is one time-series bucket of a scenario run.
 	SeriesSample = experiment.SeriesSample
+	// ASSample is one tracked AS's slice of a SeriesSample.
+	ASSample = experiment.ASSample
+	// PlotArtifact is one named, renderable SVG chart.
+	PlotArtifact = plot.Artifact
 )
 
 // Scenario event kinds and arrival shapes, for building custom timelines.
@@ -363,6 +369,23 @@ func ScenarioByName(name string) (*ScenarioSpec, error) { return scenario.ByName
 // SeriesTable renders the per-bucket time series of scenario runs that
 // share a scenario and duration.
 func SeriesTable(results []*Result) *Table { return experiment.SeriesTable(results) }
+
+// ASSeriesTable renders the per-AS time-series breakdown of scenario runs
+// that sampled one (nil when none did).
+func ASSeriesTable(results []*Result) *Table { return experiment.ASSeriesTable(results) }
+
+// SeriesPlots renders the scenario time series of results as SVG line
+// charts — swarm-wide metrics plus per-AS breakdowns. Nil when no result
+// carried a series.
+func SeriesPlots(results []*Result) []PlotArtifact { return experiment.SeriesPlots(results) }
+
+// Figure1Plots renders each result's Figure-1 geographic breakdown as one
+// grouped SVG bar chart.
+func Figure1Plots(results []*Result) []PlotArtifact { return experiment.Figure1Plots(results) }
+
+// WritePlots renders SVG artifacts into dir (created if absent), one file
+// per artifact, and returns the written file names.
+func WritePlots(dir string, arts []PlotArtifact) ([]string, error) { return plot.WriteDir(dir, arts) }
 
 // Summarize reduces one Result to its sweep summary.
 func Summarize(r *Result) RunSummary { return experiment.Summarize(r) }
