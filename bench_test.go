@@ -188,14 +188,26 @@ func BenchmarkSweep(b *testing.B) {
 }
 
 // BenchmarkSwarmSimulation isolates the engine: events per second for a
-// mid-size PPLive-profile swarm (the heaviest profile).
+// mid-size PPLive-profile swarm (the heaviest profile). The Shards4
+// variant runs the identical workload split across four shard engines —
+// on a multi-core box the wall-time ratio between the two is the
+// parallel engine's speedup.
 func BenchmarkSwarmSimulation(b *testing.B) {
+	benchSwarm(b, 0)
+}
+
+func BenchmarkSwarmSimulationShards4(b *testing.B) {
+	benchSwarm(b, 4)
+}
+
+func benchSwarm(b *testing.B, shards int) {
 	var events uint64
 	for i := 0; i < b.N; i++ {
 		cfg := napawine.DefaultConfig(napawine.PPLive)
 		cfg.Seed = int64(i + 1)
 		cfg.Duration = 60 * time.Second
 		cfg.World.Peers = 200
+		cfg.Shards = shards
 		r, err := napawine.Run(cfg)
 		if err != nil {
 			b.Fatal(err)
@@ -213,6 +225,18 @@ func BenchmarkSwarmSimulation(b *testing.B) {
 // Gated behind NAPAWINE_LARGE_BENCH because one iteration simulates a
 // hundred thousand peers; the generic -bench=. smoke skips it.
 func BenchmarkSwarmSimulation100k(b *testing.B) {
+	benchSwarm100k(b, 0)
+}
+
+// BenchmarkSwarmSimulation100kShards8 is the parallel-engine acceptance
+// benchmark: the same 10⁵-peer swarm split across eight shard engines.
+// Compare against BenchmarkSwarmSimulation100k on a machine with ≥8
+// cores for the sharded-clock speedup.
+func BenchmarkSwarmSimulation100kShards8(b *testing.B) {
+	benchSwarm100k(b, 8)
+}
+
+func benchSwarm100k(b *testing.B, shards int) {
 	if os.Getenv("NAPAWINE_LARGE_BENCH") == "" {
 		b.Skip("set NAPAWINE_LARGE_BENCH=1 to run the 100k-peer smoke")
 	}
@@ -222,6 +246,7 @@ func BenchmarkSwarmSimulation100k(b *testing.B) {
 		cfg.Seed = int64(i + 1)
 		cfg.Duration = 30 * time.Second
 		cfg.World.Peers = 100_000
+		cfg.Shards = shards
 		cfg.Scenario = &napawine.ScenarioSpec{Name: "steady"}
 		r, err := napawine.Run(cfg)
 		if err != nil {

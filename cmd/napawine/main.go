@@ -32,6 +32,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 	"sync"
 	"time"
@@ -183,6 +185,9 @@ func main() {
 		peers     = flag.Int("peers", 0, "absolute background population (overrides -scale; 0 = per-app default)")
 		leanLed   = flag.Bool("lean-ledger", false, "O(1)-memory ground-truth accounting (auto at very large -peers)")
 		workers   = flag.Int("workers", 0, "parallel experiments (0 = GOMAXPROCS)")
+		shards    = flag.Int("shards", 0, "parallel shard engines per run, partitioned by AS (0 or 1 = serial engine)")
+		cpuProf   = flag.String("cpuprofile", "", "write a CPU profile of the whole invocation to this file")
+		memProf   = flag.String("memprofile", "", "write a heap profile (taken at exit) to this file")
 		csv       = flag.Bool("csv", false, "emit CSV instead of aligned tables")
 		outPath   = flag.String("out", "", "write tables/CSV to this file instead of stdout")
 		scn       = flag.String("scenario", "", "workload scenario to inject (see -scenario-list)")
@@ -213,6 +218,30 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if *shards < 0 {
+		fmt.Fprintf(os.Stderr, "napawine: negative -shards %d\n", *shards)
+		flag.Usage()
+		os.Exit(2)
+	}
+	// Two parallelism levels multiply: each in-flight experiment runs
+	// -shards goroutines. An explicit pair that oversubscribes the machine
+	// is a usage error; an unset -workers is derated automatically so the
+	// default stays "use the machine once", not -shards times over.
+	if *shards > 1 {
+		cores := runtime.GOMAXPROCS(0)
+		if explicit["workers"] && *workers > 1 && *workers**shards > cores {
+			fmt.Fprintf(os.Stderr, "napawine: -workers %d × -shards %d oversubscribes GOMAXPROCS (%d); lower one of them\n",
+				*workers, *shards, cores)
+			flag.Usage()
+			os.Exit(2)
+		}
+		if !explicit["workers"] {
+			*workers = cores / *shards
+			if *workers < 1 {
+				*workers = 1
+			}
+		}
+	}
 
 	if *listScens {
 		fmt.Print(scenarioList())
@@ -226,6 +255,11 @@ func main() {
 		fmt.Print(studyList())
 		return
 	}
+
+	// Profiles cover everything from here on. A usage error below exits
+	// without flushing them — those invocations ran nothing worth
+	// profiling anyway.
+	defer startProfiles(*cpuProf, *memProf)()
 
 	// openOut resolves -out. It runs only after every usage validation and
 	// file load has passed, so a usage error can never truncate an
@@ -290,7 +324,7 @@ func main() {
 			os.Exit(2)
 		}
 		st := loadStudy(*studyName, *studyFile)
-		applyStudyOverrides(st, *seed, *seeds, *duration, *factor, *peers, *leanLed, parseApps(*appsFlag), explicit)
+		applyStudyOverrides(st, *seed, *seeds, *duration, *factor, *peers, *leanLed, *shards, parseApps(*appsFlag), explicit)
 		// Re-validate after the overrides and before -out opens: a bad
 		// -apps override (or any axis error) must be a usage error that
 		// leaves a previous run's artifact untouched.
@@ -346,7 +380,7 @@ func main() {
 
 	if *seeds > 1 {
 		ds, finishDash := startDash()
-		runSweep(appList, *seed, *seeds, *duration, effFactor, *peers, *leanLed, *workers, *exp, *csv, *scn, fileSpec, *strat, out, ds, writeSVGs)
+		runSweep(appList, *seed, *seeds, *duration, effFactor, *peers, *leanLed, *shards, *workers, *exp, *csv, *scn, fileSpec, *strat, out, ds, writeSVGs)
 		closeOut()
 		finishDash()
 		return
@@ -371,7 +405,7 @@ func main() {
 	start := time.Now()
 	sc := napawine.Scale{
 		Seed: *seed, Duration: *duration, PeerFactor: effFactor, Peers: *peers,
-		LeanLedger: *leanLed, Workers: *workers,
+		LeanLedger: *leanLed, Shards: *shards, Workers: *workers,
 		Scenario: *scn, ScenarioSpec: fileSpec, Strategy: *strat, Apps: appList,
 	}
 	ds, finishDash := startDash()
@@ -506,7 +540,7 @@ func loadStudy(name, file string) *napawine.Study {
 // applyStudyOverrides folds explicitly-set command-line knobs over the
 // study's own, so one registered grid scales from a CI smoke run to the
 // full campaign.
-func applyStudyOverrides(st *napawine.Study, seed int64, trials int, duration time.Duration, factor float64, peers int, leanLedger bool, appList []string, explicit map[string]bool) {
+func applyStudyOverrides(st *napawine.Study, seed int64, trials int, duration time.Duration, factor float64, peers int, leanLedger bool, shards int, appList []string, explicit map[string]bool) {
 	if explicit["duration"] {
 		st.Duration = napawine.StudyDuration(duration)
 	}
@@ -528,6 +562,9 @@ func applyStudyOverrides(st *napawine.Study, seed int64, trials int, duration ti
 	}
 	if explicit["lean-ledger"] {
 		st.LeanLedger = leanLedger
+	}
+	if explicit["shards"] {
+		st.Shards = shards
 	}
 	if explicit["apps"] {
 		st.Apps = appList
@@ -565,7 +602,7 @@ func runStudy(st *napawine.Study, workers int, csv bool, out io.Writer, ds *dash
 // runSweep executes the replicated multi-seed battery and renders the
 // aggregated (mean ± stderr) tables. Figures and the hop sweep are
 // single-run reductions and are not replicated here.
-func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, peers int, leanLedger bool, workers int, exp string, csv bool, scn string, fileSpec *napawine.ScenarioSpec, strat string, out io.Writer, ds *dash.Server, writeSVGs func([]plot.Artifact)) {
+func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, peers int, leanLedger bool, shards int, workers int, exp string, csv bool, scn string, fileSpec *napawine.ScenarioSpec, strat string, out io.Writer, ds *dash.Server, writeSVGs func([]plot.Artifact)) {
 	if exp == "fig1" || exp == "fig2" || exp == "hopsweep" {
 		fatal(fmt.Errorf("-exp %s is a single-run reduction; drop -seeds or use -seeds 1", exp))
 	}
@@ -589,6 +626,7 @@ func runSweep(appList []string, seed int64, trials int, duration time.Duration, 
 		PeerFactor:   factor,
 		Peers:        peers,
 		LeanLedger:   leanLedger,
+		Shards:       shards,
 		Workers:      workers,
 		Scenario:     scn,
 		ScenarioSpec: fileSpec,
@@ -661,6 +699,45 @@ func renderTableI(csv bool, out io.Writer) {
 	}
 	if err != nil {
 		fatal(err)
+	}
+}
+
+// startProfiles wires -cpuprofile / -memprofile (runtime/pprof). The
+// returned stop ends the CPU profile and writes the heap profile; fatal
+// exits skip it, losing the profiles the way go test's -cpuprofile does on
+// a crash.
+func startProfiles(cpu, mem string) func() {
+	var cpuF *os.File
+	if cpu != "" {
+		f, err := os.Create(cpu)
+		if err != nil {
+			fatal(err)
+		}
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fatal(err)
+		}
+		cpuF = f
+	}
+	return func() {
+		if cpuF != nil {
+			pprof.StopCPUProfile()
+			if err := cpuF.Close(); err != nil {
+				fatal(err)
+			}
+		}
+		if mem != "" {
+			f, err := os.Create(mem)
+			if err != nil {
+				fatal(err)
+			}
+			runtime.GC() // up-to-date allocation stats, like net/http/pprof
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fatal(err)
+			}
+			if err := f.Close(); err != nil {
+				fatal(err)
+			}
+		}
 	}
 }
 

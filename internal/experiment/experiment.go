@@ -11,6 +11,7 @@ import (
 	"net/netip"
 	"os"
 	"path/filepath"
+	"sort"
 	"time"
 
 	"napawine/internal/analysis"
@@ -24,6 +25,7 @@ import (
 	"napawine/internal/sim"
 	"napawine/internal/sniffer"
 	"napawine/internal/stats"
+	"napawine/internal/topology"
 	"napawine/internal/units"
 	"napawine/internal/world"
 )
@@ -75,6 +77,16 @@ type Config struct {
 	ContactFanout int
 	JitterMax     time.Duration
 	UplinkBusyCap time.Duration
+
+	// Shards splits the swarm across that many parallel shard engines, one
+	// goroutine each, partitioned by AS (every AS lives whole on one
+	// shard) and coordinated in conservative lockstep windows bounded by
+	// the minimum inter-shard one-way delay. 0 or 1 runs the serial engine
+	// and is byte-identical to it; N > 1 is deterministic for that N but
+	// draws different (decorrelated) RNG streams, so its figures differ
+	// from the serial run the way a different seed's would. The count is
+	// clamped to the number of populated ASes.
+	Shards int
 
 	// LeanLedger drops the overlay ledger's per-peer and per-pair maps,
 	// keeping only swarm-wide totals — the setting that takes resident
@@ -339,10 +351,23 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		return nil, fmt.Errorf("experiment: world: %w", err)
 	}
 
-	eng := sim.New(cfg.Seed)
+	// Shard layout: whole ASes bin-packed across the requested shard
+	// count, window width from the closest inter-shard subnet pair. One
+	// shard degenerates to the serial engine (sim.NewSharded and
+	// overlay.NewSharded collapse to their serial forms by construction).
+	part, shards := partitionAS(w, cfg.Shards)
+	var lookahead time.Duration
+	if shards > 1 {
+		lookahead = w.Topo.MinInterGroupDelay(part)
+		if lookahead <= 0 {
+			shards = 1
+		}
+	}
+	sh := sim.NewSharded(cfg.Seed, shards, lookahead)
+	eng := sh.Global()
 	cal := chunkstream.NewCalendar(apps.StreamRate, 48*units.KB)
 	lean := cfg.LeanLedger || cfg.World.Peers+cfg.World.ExtraPeers >= LeanLedgerAutoPeers
-	net := overlay.New(eng, w.Topo, overlay.Config{
+	net := overlay.NewSharded(sh, w.Topo, overlay.Config{
 		Calendar:      cal,
 		BufferWindow:  cfg.BufferWindow,
 		TrackerBatch:  cfg.TrackerBatch,
@@ -350,7 +375,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		JitterMax:     cfg.JitterMax,
 		UplinkBusyCap: cfg.UplinkBusyCap,
 		LeanLedger:    lean,
-	})
+	}, part)
 
 	source := net.AddSource(w.SourceHost, w.SourceLink, prof)
 
@@ -403,13 +428,14 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	}
 
 	// Arrivals: source first, probes early, background staggered with
-	// churn. All offsets flow from the seeded engine RNG.
-	eng.Schedule(0, source.Join)
+	// churn. All offsets flow from the seeded *global* engine RNG in node
+	// order — a pure function of (seed, world), whatever the shard count —
+	// while each join lands on its node's own shard engine.
+	source.ScheduleJoin(0)
 	rng := eng.Rand()
 	for _, p := range probes {
-		node := p.node
 		delay := time.Duration(rng.Int63n(int64(cfg.ProbeJoinWindow)))
-		eng.Schedule(delay, node.Join)
+		p.node.ScheduleJoin(delay)
 	}
 	for _, node := range background {
 		first := time.Duration(rng.Int63n(int64(cfg.BackgroundJoinWindow)))
@@ -450,12 +476,12 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		eng.Every(cancelPoll, cancelPoll, 0, func() {
 			polls++
 			if ctx.Err() != nil {
-				eng.Stop()
+				sh.Stop()
 			}
 		})
 	}
 
-	eng.Run(cfg.Duration)
+	sh.Run(cfg.Duration)
 	if err := ctx.Err(); err != nil {
 		return nil, err
 	}
@@ -472,16 +498,18 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		}
 	}
 
-	// Reduce.
+	// Reduce. The ledger view is the live ledger on one shard and a merged
+	// snapshot of the per-shard ledgers otherwise.
+	led := net.LedgerView()
 	res := &Result{
 		App:      cfg.App,
 		Cfg:      cfg,
 		World:    w,
 		Duration: cfg.Duration,
-		Ledger:   net.Ledger,
+		Ledger:   led,
 		// Poll firings are harness bookkeeping, not swarm activity; see
 		// the RunCtx doc for why they are excluded from the metric.
-		Events:      eng.Processed() - polls,
+		Events:      sh.Processed() - polls,
 		probeByAddr: make(map[netip.Addr]world.Probe, len(w.Probes)),
 	}
 	if cfg.Scenario != nil {
@@ -525,15 +553,64 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	// SourceVideoTx is attributed at send time, so under a source-failover
 	// scenario the promoted backup's injection counts as source load while
 	// its earlier life as an ordinary peer does not.
-	srcTx := net.Ledger.SourceVideoTx
+	srcTx := led.SourceVideoTx
 	res.SourceKbps = float64(srcTx) * 8 / 1000 / secs
-	res.VideoBytes = net.Ledger.VideoTotal
-	if net.Ledger.VideoTotal > 0 {
-		res.SourceSharePct = 100 * float64(srcTx) / float64(net.Ledger.VideoTotal)
+	res.VideoBytes = led.VideoTotal
+	if led.VideoTotal > 0 {
+		res.SourceSharePct = 100 * float64(srcTx) / float64(led.VideoTotal)
 	}
-	res.DiffusionChunks = net.Ledger.DiffusionChunks
-	if net.Ledger.DiffusionChunks > 0 {
-		res.MeanDiffusionDelay = net.Ledger.DiffusionDelaySum / time.Duration(net.Ledger.DiffusionChunks)
+	res.DiffusionChunks = led.DiffusionChunks
+	if led.DiffusionChunks > 0 {
+		res.MeanDiffusionDelay = led.DiffusionDelaySum / time.Duration(led.DiffusionChunks)
 	}
 	return res, nil
+}
+
+// partitionAS maps every populated AS wholly onto one of at most n shards
+// and reports the effective shard count (clamped to the number of populated
+// ASes, floored at one). ASes are placed largest population first (ASN
+// ascending on ties) onto the least-loaded shard — a deterministic greedy
+// bin-packing, so the layout is a pure function of (world, n) and shards=N
+// runs replay byte-identically.
+func partitionAS(w *world.World, n int) (map[topology.ASN]int, int) {
+	counts := make(map[topology.ASN]int)
+	counts[w.SourceHost.AS]++
+	for _, p := range w.Probes {
+		counts[p.Host.AS]++
+	}
+	for _, bg := range w.Background {
+		counts[bg.Host.AS]++
+	}
+	for _, dp := range w.Deferred {
+		counts[dp.Host.AS]++
+	}
+	if n < 1 {
+		n = 1
+	}
+	if n > len(counts) {
+		n = len(counts)
+	}
+	ases := make([]topology.ASN, 0, len(counts))
+	for as := range counts {
+		ases = append(ases, as)
+	}
+	sort.Slice(ases, func(i, j int) bool {
+		if counts[ases[i]] != counts[ases[j]] {
+			return counts[ases[i]] > counts[ases[j]]
+		}
+		return ases[i] < ases[j]
+	})
+	part := make(map[topology.ASN]int, len(ases))
+	load := make([]int, n)
+	for _, as := range ases {
+		best := 0
+		for s := 1; s < n; s++ {
+			if load[s] < load[best] {
+				best = s
+			}
+		}
+		part[as] = best
+		load[best] += counts[as]
+	}
+	return part, n
 }

@@ -167,10 +167,14 @@ func (r *seriesRecorder) sample(eng *sim.Engine, net *overlay.Network) {
 			asCont[slot].Add(nd.Continuity())
 		}
 	}
-	intra := net.Ledger.VideoIntraAS - r.prevIntra
-	total := net.Ledger.VideoTotal - r.prevTotal
-	r.prevIntra = net.Ledger.VideoIntraAS
-	r.prevTotal = net.Ledger.VideoTotal
+	// A bucket boundary is a window barrier (the sampler runs on the
+	// global engine), so the per-shard ledgers are quiescent and the view
+	// — live ledger on one shard, merged snapshot otherwise — is exact.
+	led := net.LedgerView()
+	intra := led.VideoIntraAS - r.prevIntra
+	total := led.VideoTotal - r.prevTotal
+	r.prevIntra = led.VideoIntraAS
+	r.prevTotal = led.VideoTotal
 	s := SeriesSample{
 		T:          time.Duration(eng.Now()),
 		Online:     online,
@@ -185,10 +189,10 @@ func (r *seriesRecorder) sample(eng *sim.Engine, net *overlay.Network) {
 	if len(r.asTracked) > 0 {
 		s.PerAS = make([]ASSample, len(r.asTracked))
 		for i, as := range r.asTracked {
-			rx := net.Ledger.VideoRxByAS[as] - r.prevASRx[i]
-			asIntra := net.Ledger.VideoIntraByAS[as] - r.prevASIntra[i]
-			r.prevASRx[i] = net.Ledger.VideoRxByAS[as]
-			r.prevASIntra[i] = net.Ledger.VideoIntraByAS[as]
+			rx := led.VideoRxByAS[as] - r.prevASRx[i]
+			asIntra := led.VideoIntraByAS[as] - r.prevASIntra[i]
+			r.prevASRx[i] = led.VideoRxByAS[as]
+			r.prevASIntra[i] = led.VideoIntraByAS[as]
 			a := ASSample{AS: as, Online: asOnline[i], Continuity: asCont[i].Mean()}
 			if rx > 0 {
 				a.IntraPct = 100 * float64(asIntra) / float64(rx)

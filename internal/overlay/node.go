@@ -62,7 +62,12 @@ type reqEntry struct {
 
 // Node is one peer in the swarm.
 type Node struct {
-	net     *Network
+	net *Network
+	// sc is the shard this node executes on: all of its events, randomness
+	// and accounting flow through sc. With one shard it wraps the
+	// network's engine and ledger. Assigned at AddNode from the host's AS
+	// and never changed.
+	sc      *shardCtx
 	ID      PeerID
 	Host    topology.Host
 	Link    access.Link
@@ -193,11 +198,11 @@ func (nd *Node) Join() {
 		return
 	}
 	nd.online = true
-	nd.onlineAt = nd.net.Eng.Now()
+	nd.onlineAt = nd.sc.eng.Now()
 	nd.net.markOnline(nd)
 
 	cal := nd.net.Cfg.Calendar
-	live := cal.LatestAt(nd.net.Eng.Now())
+	live := cal.LatestAt(nd.sc.eng.Now())
 	if live < 0 {
 		live = 0
 	}
@@ -234,7 +239,7 @@ func (nd *Node) Join() {
 		nd.rateMemory = make(map[PeerID]units.BitRate)
 	}
 
-	eng := nd.net.Eng
+	eng := nd.sc.eng
 	p := nd.Profile
 	jitter := func(d time.Duration) time.Duration { return d / 4 }
 
@@ -267,6 +272,14 @@ func (nd *Node) Leave() {
 		c()
 	}
 	nd.cancels = nil
+	// Partners on this shard observe the online flag lazily, as always.
+	// Cross-shard partners cannot, so the departure travels to them as a
+	// message after the pair's one-way delay.
+	for i := range nd.byID {
+		if other := nd.byID[i].p.node; !sameShard(nd, other) {
+			nd.net.crossRemovePartner(nd, other)
+		}
+	}
 	// Recycle every partner episode and empty the maps in place; the next
 	// Join reuses all of it.
 	for i := range nd.byID {
@@ -362,11 +375,19 @@ func (nd *Node) ChurnScale() float64 {
 	return nd.churnScale
 }
 
+// ScheduleJoin schedules the node's Join after the given delay, on the
+// node's own shard engine — the arrival form experiment setup uses, so a
+// sharded run places every join on the engine that owns the node while the
+// delay itself can come from any RNG the caller likes.
+func (nd *Node) ScheduleJoin(after time.Duration) {
+	nd.sc.eng.Schedule(after, nd.Join)
+}
+
 // ScheduleChurn makes the node cycle online/offline with exponential
 // holding times; permanent probe nodes simply never call this. The first
 // join happens after `firstJoin`.
 func (nd *Node) ScheduleChurn(firstJoin time.Duration, meanOn, meanOff time.Duration) {
-	eng := nd.net.Eng
+	eng := nd.sc.eng
 	rng := eng.Rand()
 	expDur := func(mean time.Duration) time.Duration {
 		if s := nd.churnScale; s > 0 {
@@ -501,16 +522,25 @@ func (nd *Node) refillPartners() {
 		}
 		nd.scorer.Push(policy.Candidate{Index: i, Info: nd.infoFor(c)}, nd.Profile.DiscoveryWeight)
 	}
-	for _, pick := range nd.scorer.Sample(nd.net.Eng.Rand(), need) {
+	for _, pick := range nd.scorer.Sample(nd.sc.eng.Rand(), need) {
 		nd.handshake(cands[pick.Index])
 	}
 }
 
 // handshake performs the two-packet introduction and, when both sides have
 // room, establishes a partnership. Every handshake also records the remote
-// in the neighbor list (the "contacted peers" population).
+// in the neighbor list (the "contacted peers" population). A remote on
+// another shard goes through the two-phase message exchange instead
+// (shard.go); same-shard pairs keep the synchronous form.
 func (nd *Node) handshake(other *Node) {
-	if !other.online || other.ID == nd.ID {
+	if other.ID == nd.ID {
+		return
+	}
+	if !sameShard(nd, other) {
+		nd.handshakeCross(other)
+		return
+	}
+	if !other.online {
 		return
 	}
 	nd.net.sendSignal(nd, other, handshakeSize)
@@ -575,7 +605,11 @@ func (nd *Node) recyclePartner(p *partner) {
 func (nd *Node) dropPartner(id PeerID) {
 	nd.removePartner(id)
 	if other := nd.net.NodeByID(id); other != nil {
-		other.removePartner(nd.ID)
+		if sameShard(nd, other) {
+			other.removePartner(nd.ID)
+		} else {
+			nd.net.crossRemovePartner(nd, other)
+		}
 	}
 }
 
@@ -625,6 +659,10 @@ func (nd *Node) contactTick() {
 		if !c.Link.AcceptsFrom(nd.Link) && !nd.Link.AcceptsFrom(c.Link) {
 			continue
 		}
+		if !sameShard(nd, c) {
+			nd.gossipCross(c)
+			break // one gossip exchange per tick
+		}
 		// Peer exchange both ways, list length capped per message.
 		mine := len(nd.neighbors)
 		if mine > gossipMaxEntries {
@@ -647,7 +685,7 @@ func (nd *Node) contactTick() {
 			if base <= 0 {
 				base = 1
 			}
-			accept := w >= base || nd.net.Eng.Rand().Float64() < w/base
+			accept := w >= base || nd.sc.eng.Rand().Float64() < w/base
 			if accept {
 				nd.addPartner(c)
 				c.addPartner(nd)
@@ -658,11 +696,13 @@ func (nd *Node) contactTick() {
 }
 
 // dropDeadPartners forgets partners that went offline. Collect-then-drop
-// keeps the iteration off the live index while it mutates.
+// keeps the iteration off the live index while it mutates. Cross-shard
+// partners are presumed alive here — their departures arrive as messages
+// (crossRemovePartner) instead of being observed.
 func (nd *Node) dropDeadPartners() {
 	nd.dropIDs = nd.dropIDs[:0]
 	for i := range nd.byID {
-		if !nd.byID[i].p.node.online {
+		if !nd.partnerAlive(nd.byID[i].p) {
 			nd.dropIDs = append(nd.dropIDs, nd.byID[i].id)
 		}
 	}
@@ -682,21 +722,40 @@ func (nd *Node) signalingTick() {
 		var base chunkstream.ChunkID
 		base, nd.snapBits = nd.buf.SnapshotInto(nd.snapBits)
 		size := nd.buf.WireSize() + 40 // header overhead
+		// Cross-shard partners receive an immutable copy of this tick's
+		// snapshot words (one copy shared by all of them): the scratch
+		// buffer will be rewritten before their messages arrive.
+		var crossBits []uint64
 		for _, en := range nd.byID {
-			nd.net.sendSignal(nd, en.p.node, size)
+			other := en.p.node
+			if !sameShard(nd, other) {
+				if crossBits == nil {
+					crossBits = append(crossBits, nd.snapBits...)
+				}
+				nd.pushBufferMapCross(other, size, base, crossBits)
+				continue
+			}
+			nd.net.sendSignal(nd, other, size)
 			// The partner learns our holdings.
-			if remote, ok := en.p.node.partners[nd.ID]; ok {
+			if remote, ok := other.partners[nd.ID]; ok {
 				remote.have.LoadSnapshot(base, nd.snapBits)
 			}
 		}
 	}
 	// Keepalives to a bounded random subset of remembered neighbors.
 	fan := nd.Profile.KeepaliveFanout
-	rng := nd.net.Eng.Rand()
+	rng := nd.sc.eng.Rand()
 	for i := 0; i < fan && len(nd.neighbors) > 0; i++ {
 		id := nd.neighbors[rng.Intn(len(nd.neighbors))]
 		other := nd.net.NodeByID(id)
-		if other != nil && other.online {
+		if other == nil {
+			continue
+		}
+		if !sameShard(nd, other) {
+			nd.keepaliveCross(other)
+			continue
+		}
+		if other.online {
 			nd.net.sendSignal(nd, other, keepaliveSize)
 			nd.net.sendSignal(other, nd, keepaliveSize)
 		}
@@ -731,7 +790,7 @@ func (nd *Node) scheduleTick() {
 	if !nd.online || nd.isSource {
 		return
 	}
-	now := nd.net.Eng.Now()
+	now := nd.sc.eng.Now()
 	cal := nd.net.Cfg.Calendar
 	live := cal.LatestAt(now)
 	if live < 0 {
@@ -778,7 +837,7 @@ func (nd *Node) scheduleTick() {
 	for _, id := range nd.expired {
 		req := nd.inflight[id]
 		delete(nd.inflight, id)
-		nd.net.Ledger.timeout(nd.ID)
+		nd.sc.ledger.timeout(nd.ID)
 		if pr, ok := nd.partners[req.from]; ok {
 			pr.failures++
 			pr.info.EstRate /= 2 // stale partner loses standing
@@ -859,7 +918,7 @@ func (nd *Node) scheduleTick() {
 		}
 		nd.refs = append(nd.refs, ref)
 	}
-	strat.Order(nd.net.Eng.Rand(), nd.refs)
+	strat.Order(nd.sc.eng.Rand(), nd.refs)
 	for _, ref := range nd.refs {
 		if budget <= 0 {
 			break
@@ -876,7 +935,7 @@ func (nd *Node) countHolders(id chunkstream.ChunkID, now sim.Time) int {
 	n := 0
 	for _, en := range nd.byID {
 		p := en.p
-		if !p.node.online {
+		if !nd.partnerAlive(p) {
 			continue
 		}
 		if (p.node.isSource && p.node.hasChunk(id, now)) || p.have.Has(id) {
@@ -893,7 +952,7 @@ func (nd *Node) countHolders(id chunkstream.ChunkID, now sim.Time) int {
 func (nd *Node) bestPartner() *partner {
 	for i := range nd.byReq {
 		en := &nd.byReq[i]
-		if !en.p.node.online || en.p.node.isSource {
+		if !nd.partnerAlive(en.p) || en.p.node.isSource {
 			continue
 		}
 		if en.w > 0 {
@@ -914,7 +973,7 @@ func (nd *Node) requestChunk(id chunkstream.ChunkID, now sim.Time) bool {
 	nd.reqOrder = nd.reqOrder[:0]
 	for _, en := range nd.byID {
 		p := en.p
-		if !p.node.online {
+		if !nd.partnerAlive(p) {
 			continue
 		}
 		// A client only knows what the partner advertised; the single
@@ -924,7 +983,7 @@ func (nd *Node) requestChunk(id chunkstream.ChunkID, now sim.Time) bool {
 			nd.reqOrder = append(nd.reqOrder, p)
 		}
 	}
-	pick := nd.scorer.PickOne(nd.net.Eng.Rand())
+	pick := nd.scorer.PickOne(nd.sc.eng.Rand())
 	if pick.Index < 0 {
 		return false
 	}

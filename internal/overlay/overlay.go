@@ -309,23 +309,21 @@ func (l *Ledger) timeout(id PeerID) {
 	l.TimeoutsTotal++
 }
 
-// Network owns every node of one emulated swarm.
-type Network struct {
-	Eng    *sim.Engine
-	Topo   *topology.Topology
-	Cfg    Config
-	Ledger *Ledger
+// shardCtx is the execution context of one shard: its engine (clock + RNG
+// stream), its slice of the ground-truth ledger, its live-peer list and the
+// scratch buffers its events run inside. With one shard the single context
+// wraps the network's engine and ledger, and every code path reduces to
+// the historical serial behaviour.
+type shardCtx struct {
+	idx    int
+	eng    *sim.Engine
+	ledger *Ledger
 
-	nodes  []*Node
 	online []*Node // compact set for O(1) random tracker sampling
-	source *Node
-	// trackerPaused models a tracker outage: queries return nothing, so
-	// discovery stalls while established partnerships keep streaming.
-	trackerPaused bool
 
-	// Tracker-query scratch, reused across calls: the engine is
+	// Tracker-query scratch, reused across calls: each shard is
 	// single-threaded and a query's result is consumed before the next
-	// query starts, so one set per network keeps every gossip round
+	// query starts, so one set per shard keeps every gossip round
 	// allocation-free. Callers must not retain the returned slice.
 	sampleOut  []*Node
 	sampleSeen []PeerID
@@ -340,17 +338,165 @@ type Network struct {
 	trainArrives []sim.Time
 }
 
-// New builds an empty network on the given engine and topology.
+// Network owns every node of one emulated swarm.
+type Network struct {
+	// Eng is the global engine: with one shard, the engine everything runs
+	// on; with several, the barrier-phase engine whose events may touch
+	// state on any shard (see sim.Sharded). Scenario timelines, samplers
+	// and capture flushes schedule here.
+	Eng    *sim.Engine
+	Topo   *topology.Topology
+	Cfg    Config
+	Ledger *Ledger
+
+	// sharded is the lockstep coordinator; nil when the network was built
+	// with New on a bare engine. shards always holds at least one context.
+	sharded *sim.Sharded
+	shards  []*shardCtx
+	shardOf map[topology.ASN]int
+
+	// onlineSnaps[j] is a snapshot of shard j's online list, refreshed by
+	// a periodic global event. During a window, shards sample tracker
+	// candidates on other shards from these (slightly stale, like a real
+	// tracker's view) because the live lists over there are in motion.
+	// Written only at barriers, read-only during windows.
+	onlineSnaps [][]*Node
+
+	nodes  []*Node
+	source *Node
+	// trackerPaused models a tracker outage: queries return nothing, so
+	// discovery stalls while established partnerships keep streaming.
+	// Toggled only by global (barrier-phase) events, read by shards.
+	trackerPaused bool
+}
+
+// trackerRefresh is how often the cross-shard tracker snapshots are
+// rebuilt. One virtual second of staleness is far below the session
+// dynamics the tracker view feeds (multi-second gossip and churn
+// intervals) and is, if anything, fresher than a real tracker's view.
+const trackerRefresh = time.Second
+
+// New builds an empty network on the given engine and topology. The whole
+// swarm runs serially on that engine — the historical single-core mode.
 func New(eng *sim.Engine, topo *topology.Topology, cfg Config) *Network {
 	cfg.validate()
-	return &Network{Eng: eng, Topo: topo, Cfg: cfg, Ledger: newLedger(cfg.LeanLedger)}
+	led := newLedger(cfg.LeanLedger)
+	n := &Network{Eng: eng, Topo: topo, Cfg: cfg, Ledger: led}
+	n.shards = []*shardCtx{{eng: eng, ledger: led}}
+	return n
+}
+
+// NewSharded builds an empty network on a sharded coordinator. shardOf
+// assigns every peer-hosting AS to a shard in [0, sh.N()); each AS must be
+// kept whole — the coordinator's lookahead is derived from *inter*-AS
+// delays. With sh.N() == 1 the network is identical to New on sh.Global(),
+// byte-for-byte.
+func NewSharded(sh *sim.Sharded, topo *topology.Topology, cfg Config, shardOf map[topology.ASN]int) *Network {
+	cfg.validate()
+	n := &Network{Eng: sh.Global(), Topo: topo, Cfg: cfg, sharded: sh, shardOf: shardOf}
+	n.shards = make([]*shardCtx, sh.N())
+	for i := range n.shards {
+		n.shards[i] = &shardCtx{idx: i, eng: sh.Shard(i), ledger: newLedger(cfg.LeanLedger)}
+	}
+	n.Ledger = n.shards[0].ledger
+	if sh.N() > 1 {
+		// The exported field would silently expose one shard's slice of
+		// the accounting; force readers through LedgerView.
+		n.Ledger = nil
+		n.onlineSnaps = make([][]*Node, sh.N())
+		n.Eng.Every(trackerRefresh, trackerRefresh, 0, n.refreshTrackerSnaps)
+	}
+	return n
+}
+
+// LedgerView returns the swarm-wide ground-truth accounting. With one
+// shard it is the live ledger itself; with several it is a fresh merge of
+// the per-shard ledgers, valid only at barrier time (call it from global
+// events or after the run, never from shard events).
+func (n *Network) LedgerView() *Ledger {
+	if len(n.shards) == 1 {
+		return n.shards[0].ledger
+	}
+	m := newLedger(n.Cfg.LeanLedger)
+	for _, sc := range n.shards {
+		m.merge(sc.ledger)
+	}
+	return m
+}
+
+// merge folds src into l. Map merges allocate nothing new for keys already
+// present; in lean mode only the AS-keyed maps exist on either side.
+func (l *Ledger) merge(src *Ledger) {
+	if !l.lean && !src.lean {
+		for k, v := range src.VideoByPair {
+			l.VideoByPair[k] += v
+		}
+		mergePeer := func(dst, s map[PeerID]int64) {
+			for k, v := range s {
+				dst[k] += v
+			}
+		}
+		mergePeer(l.VideoRx, src.VideoRx)
+		mergePeer(l.VideoTx, src.VideoTx)
+		mergePeer(l.SignalRx, src.SignalRx)
+		mergePeer(l.SignalTx, src.SignalTx)
+		mergePeer(l.ChunksServed, src.ChunksServed)
+		mergePeer(l.Rejections, src.Rejections)
+		mergePeer(l.Timeouts, src.Timeouts)
+	}
+	l.SignalTotal += src.SignalTotal
+	l.ChunksServedTotal += src.ChunksServedTotal
+	l.RejectionsTotal += src.RejectionsTotal
+	l.TimeoutsTotal += src.TimeoutsTotal
+	l.VideoTotal += src.VideoTotal
+	l.VideoIntraAS += src.VideoIntraAS
+	for as, v := range src.VideoRxByAS {
+		l.VideoRxByAS[as] += v
+	}
+	for as, v := range src.VideoIntraByAS {
+		l.VideoIntraByAS[as] += v
+	}
+	l.DiffusionDelaySum += src.DiffusionDelaySum
+	l.DiffusionChunks += src.DiffusionChunks
+	l.SourceVideoTx += src.SourceVideoTx
+}
+
+// Shards reports the shard count the network runs across.
+func (n *Network) Shards() int { return len(n.shards) }
+
+// shardFor resolves the shard context hosting an AS. ASes outside the
+// partition map (possible only in hand-built tests) fall to shard 0.
+func (n *Network) shardFor(as topology.ASN) *shardCtx {
+	if len(n.shards) == 1 {
+		return n.shards[0]
+	}
+	if i, ok := n.shardOf[as]; ok && i >= 0 && i < len(n.shards) {
+		return n.shards[i]
+	}
+	return n.shards[0]
+}
+
+// refreshTrackerSnaps republishes every shard's online list for the other
+// shards to sample from. Runs as a global event: shard goroutines are
+// parked, so the live lists are stable and the snapshot swap is safe.
+func (n *Network) refreshTrackerSnaps() {
+	for i, sc := range n.shards {
+		snap := n.onlineSnaps[i][:0]
+		n.onlineSnaps[i] = append(snap, sc.online...)
+	}
 }
 
 // Nodes returns all nodes ever added, in creation order.
 func (n *Network) Nodes() []*Node { return n.nodes }
 
 // OnlineCount reports how many nodes are currently online.
-func (n *Network) OnlineCount() int { return len(n.online) }
+func (n *Network) OnlineCount() int {
+	total := 0
+	for _, sc := range n.shards {
+		total += len(sc.online)
+	}
+	return total
+}
 
 // Source returns the stream source node, nil before AddSource.
 func (n *Network) Source() *Node { return n.source }
@@ -361,6 +507,7 @@ func (n *Network) AddNode(host topology.Host, link access.Link, prof *Profile) *
 	prof.validate()
 	node := &Node{
 		net:      n,
+		sc:       n.shardFor(host.AS),
 		ID:       PeerID(len(n.nodes)),
 		Host:     host,
 		Link:     link,
@@ -465,44 +612,80 @@ func (n *Network) TrackerPaused() bool { return n.trackerPaused }
 // trackerSample returns up to k distinct online nodes other than asker,
 // uniformly at random. Commercial trackers return random subsets; locality
 // bias, where it exists, is applied by the client (its DiscoveryWeight).
-// The result aliases a per-network scratch buffer: it is valid until the
-// next query and must not be retained.
+// The result aliases a per-shard scratch buffer: it is valid until the
+// next query on that shard and must not be retained.
+//
+// Under sharding the asker's shard samples its own live list plus the
+// published snapshots of the other shards — the snapshot staleness models
+// a tracker whose view lags reality, and a stale candidate that has since
+// gone offline is weeded out at contact time like any departed peer.
 func (n *Network) trackerSample(asker *Node, k int) []*Node {
-	if n.trackerPaused || k <= 0 || len(n.online) == 0 {
+	sc := asker.sc
+	total := len(sc.online)
+	if len(n.shards) > 1 {
+		for j := range n.onlineSnaps {
+			if j != sc.idx {
+				total += len(n.onlineSnaps[j])
+			}
+		}
+	}
+	if n.trackerPaused || k <= 0 || total == 0 {
 		return nil
 	}
-	rng := n.Eng.Rand()
+	rng := sc.eng.Rand()
 	// Partial Fisher-Yates over a copy of indexes would cost O(online);
 	// sample with rejection instead, bounded to a few attempts per slot.
 	// The dedup set is a linear-scanned slice: it holds at most k+1 ids,
 	// and a map here would allocate on every gossip round of every node.
-	out := n.sampleOut[:0]
-	seen := append(n.sampleSeen[:0], asker.ID)
+	out := sc.sampleOut[:0]
+	seen := append(sc.sampleSeen[:0], asker.ID)
 	attempts := 0
 	for len(out) < k && attempts < 8*k {
 		attempts++
-		cand := n.online[rng.Intn(len(n.online))]
+		cand := n.trackerEntry(sc, rng.Intn(total))
 		if slices.Contains(seen, cand.ID) {
 			continue
 		}
 		seen = append(seen, cand.ID)
 		out = append(out, cand)
 	}
-	n.sampleOut, n.sampleSeen = out, seen
+	sc.sampleOut, sc.sampleSeen = out, seen
 	return out
 }
 
+// trackerEntry resolves one index of the tracker's virtual candidate list:
+// the asker shard's live list first, then the other shards' snapshots in
+// shard order.
+func (n *Network) trackerEntry(sc *shardCtx, i int) *Node {
+	if i < len(sc.online) {
+		return sc.online[i]
+	}
+	i -= len(sc.online)
+	for j := range n.onlineSnaps {
+		if j == sc.idx {
+			continue
+		}
+		if i < len(n.onlineSnaps[j]) {
+			return n.onlineSnaps[j][i]
+		}
+		i -= len(n.onlineSnaps[j])
+	}
+	panic("overlay: tracker index out of range")
+}
+
 func (n *Network) markOnline(node *Node) {
-	node.onlineIdx = len(n.online)
-	n.online = append(n.online, node)
+	sc := node.sc
+	node.onlineIdx = len(sc.online)
+	sc.online = append(sc.online, node)
 }
 
 func (n *Network) markOffline(node *Node) {
+	sc := node.sc
 	idx := node.onlineIdx
-	last := len(n.online) - 1
-	n.online[idx] = n.online[last]
-	n.online[idx].onlineIdx = idx
-	n.online = n.online[:last]
+	last := len(sc.online) - 1
+	sc.online[idx] = sc.online[last]
+	sc.online[idx].onlineIdx = idx
+	sc.online = sc.online[:last]
 	node.onlineIdx = -1
 }
 

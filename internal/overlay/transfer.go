@@ -29,7 +29,9 @@ func (net *Network) ttlAtReceiver(from, to *Node) uint8 {
 // sendSignal models a single small control packet from a to b, emitting
 // records at whichever endpoints carry sniffers and accounting ground
 // truth. Control packets ride above the FIFO data queues (they are tiny and
-// real clients interleave them), so only propagation delay applies.
+// real clients interleave them), so only propagation delay applies. Both
+// endpoints must live on the same shard — cross-shard control flows through
+// signalCross (shard.go).
 func (net *Network) sendSignal(a, b *Node, size units.ByteSize) {
 	if !a.online || !b.online {
 		return
@@ -37,11 +39,15 @@ func (net *Network) sendSignal(a, b *Node, size units.ByteSize) {
 	net.sendControl(a, b, size, packet.Signaling)
 }
 
+// sendControl runs on the shard both endpoints share: its clock stamps the
+// records, its RNG stream draws the jitter, its ledger takes the
+// accounting. With one shard that is the network's engine and ledger.
 func (net *Network) sendControl(a, b *Node, size units.ByteSize, kind packet.Kind) {
-	now := net.Eng.Now()
+	sc := a.sc
+	now := sc.eng.Now()
 	owd := net.Topo.OneWayDelay(a.Host, b.Host)
 	if net.Cfg.JitterMax > 0 {
-		owd += time.Duration(net.Eng.Rand().Int63n(int64(net.Cfg.JitterMax)))
+		owd += time.Duration(sc.eng.Rand().Int63n(int64(net.Cfg.JitterMax)))
 	}
 	arrive := now.Add(owd)
 	recordAt(a, packet.Record{
@@ -53,49 +59,74 @@ func (net *Network) sendControl(a, b *Node, size units.ByteSize, kind packet.Kin
 		Size: size, TTL: net.ttlAtReceiver(a, b), Kind: kind,
 	})
 	if kind == packet.Signaling || kind == packet.Request {
-		net.Ledger.signal(a.ID, b.ID, int64(size))
+		sc.ledger.signal(a.ID, b.ID, int64(size))
 	}
 }
 
 // sendRequest carries a chunk request from nd to target and schedules the
 // response at the responder after the one-way delay.
 func (net *Network) sendRequest(nd, target *Node, id chunkstream.ChunkID) {
+	if !sameShard(nd, target) {
+		net.signalCross(nd, target, requestSize, packet.Request, func() {
+			target.serveChunk(nd, id)
+		})
+		return
+	}
 	net.sendControl(nd, target, requestSize, packet.Request)
 	owd := net.Topo.OneWayDelay(nd.Host, target.Host)
-	net.Eng.Schedule(owd, func() { target.serveChunk(nd, id) })
+	nd.sc.eng.Schedule(owd, func() { target.serveChunk(nd, id) })
+}
+
+// rejectReply declines a request. On a shared shard the requester's
+// handler runs synchronously (the serial engine's shortcut); across shards
+// the reject packet carries the news after the pair's one-way delay.
+func (nd *Node) rejectReply(requester *Node, id chunkstream.ChunkID) {
+	net := nd.net
+	nd.sc.ledger.rejection(nd.ID)
+	if sameShard(nd, requester) {
+		net.sendControl(nd, requester, rejectSize, packet.Signaling)
+		requester.onReject(nd.ID, id)
+		return
+	}
+	from := nd.ID
+	net.signalCross(nd, requester, rejectSize, packet.Signaling, func() {
+		requester.onReject(from, id)
+	})
 }
 
 // serveChunk is the responder side of the pull protocol. The responder
 // rejects when it no longer holds the chunk (stale advertisement), when its
-// uplink backlog exceeds the busy cap, or when either side went offline.
+// uplink backlog exceeds the busy cap, or when either side went offline —
+// though a requester on another shard cannot be checked from here: its
+// departure is discovered at delivery time instead, and the transfer still
+// accounts as served, the way bytes already in flight toward a vanished
+// peer are genuinely spent.
 func (nd *Node) serveChunk(requester *Node, id chunkstream.ChunkID) {
 	net := nd.net
-	now := net.Eng.Now()
-	if !nd.online || !requester.online {
+	sc := nd.sc
+	now := sc.eng.Now()
+	local := sameShard(nd, requester)
+	if !nd.online || (local && !requester.online) {
 		return
 	}
 	if !nd.hasChunk(id, now) {
-		net.sendControl(nd, requester, rejectSize, packet.Signaling)
-		net.Ledger.rejection(nd.ID)
-		requester.onReject(nd.ID, id)
+		nd.rejectReply(requester, id)
 		return
 	}
 	if nd.up.Backlog(now) > net.Cfg.UplinkBusyCap {
-		net.sendControl(nd, requester, rejectSize, packet.Signaling)
-		net.Ledger.rejection(nd.ID)
-		requester.onReject(nd.ID, id)
+		nd.rejectReply(requester, id)
 		return
 	}
 
 	chunkSize := net.Cfg.Calendar.ChunkSize()
 	start, _ := nd.up.Reserve(now, chunkSize)
-	sizes := access.PacketizeInto(net.trainSizes, chunkSize)
-	net.trainSizes = sizes
+	sizes := access.PacketizeInto(sc.trainSizes, chunkSize)
+	sc.trainSizes = sizes
 	owd := net.Topo.OneWayDelay(nd.Host, requester.Host)
-	departs, arrives := access.TrainInto(net.trainDeparts, net.trainArrives, start, sizes,
+	departs, arrives := access.TrainInto(sc.trainDeparts, sc.trainArrives, start, sizes,
 		nd.Link.Spec.Up, requester.Link.Spec.Down,
-		owd, net.Eng.Rand(), net.Cfg.JitterMax)
-	net.trainDeparts, net.trainArrives = departs, arrives
+		owd, sc.eng.Rand(), net.Cfg.JitterMax)
+	sc.trainDeparts, sc.trainArrives = departs, arrives
 
 	// Materialize per-packet records at whichever ends are probes.
 	if nd.spool != nil {
@@ -106,20 +137,11 @@ func (nd *Node) serveChunk(requester *Node, id chunkstream.ChunkID) {
 			})
 		}
 	}
-	if requester.spool != nil {
-		ttl := net.ttlAtReceiver(nd, requester)
-		for i, sz := range sizes {
-			recordAt(requester, packet.Record{
-				TS: arrives[i], Src: nd.Host.Addr, Dst: requester.Host.Addr,
-				Size: sz, TTL: ttl, Kind: packet.Video,
-			})
-		}
-	}
 
-	net.Ledger.video(nd.ID, requester.ID, int64(chunkSize), requester.Host.AS, nd.Host.AS == requester.Host.AS)
-	net.Ledger.chunkServed(nd.ID)
+	sc.ledger.video(nd.ID, requester.ID, int64(chunkSize), requester.Host.AS, nd.Host.AS == requester.Host.AS)
+	sc.ledger.chunkServed(nd.ID)
 	if nd.isSource {
-		net.Ledger.SourceVideoTx += int64(chunkSize)
+		sc.ledger.SourceVideoTx += int64(chunkSize)
 	}
 
 	last := arrives[len(arrives)-1]
@@ -131,7 +153,47 @@ func (nd *Node) serveChunk(requester *Node, id chunkstream.ChunkID) {
 	// the 2008 clients actually had (stop-and-wait is our simplification,
 	// not theirs: they pipelined requests).
 	burst := last.Sub(arrives[0])
-	net.Eng.At(last, func() { requester.onChunkDelivered(nd.ID, id, chunkSize, burst) })
+	from := nd.ID
+
+	if local {
+		if requester.spool != nil {
+			ttl := net.ttlAtReceiver(nd, requester)
+			for i, sz := range sizes {
+				recordAt(requester, packet.Record{
+					TS: arrives[i], Src: nd.Host.Addr, Dst: requester.Host.Addr,
+					Size: sz, TTL: ttl, Kind: packet.Video,
+				})
+			}
+		}
+		sc.eng.At(last, func() { requester.onChunkDelivered(from, id, chunkSize, burst) })
+		return
+	}
+
+	// Cross-shard delivery: the rx records and the completion handler land
+	// on the requester's shard. A probe's records materialize at
+	// first-packet arrival — never behind a capture-flush cutoff, since
+	// every record's timestamp is at or after its insertion instant, the
+	// same property the serial path has.
+	if requester.spool != nil {
+		recs := make([]packet.Record, len(sizes))
+		ttl := net.ttlAtReceiver(nd, requester)
+		for i, sz := range sizes {
+			recs[i] = packet.Record{
+				TS: arrives[i], Src: nd.Host.Addr, Dst: requester.Host.Addr,
+				Size: sz, TTL: ttl, Kind: packet.Video,
+			}
+		}
+		net.crossSend(nd, requester, arrives[0], func() {
+			if requester.online {
+				for _, r := range recs {
+					recordAt(requester, r)
+				}
+			}
+			requester.sc.eng.At(last, func() { requester.onChunkDelivered(from, id, chunkSize, burst) })
+		})
+		return
+	}
+	net.crossSend(nd, requester, last, func() { requester.onChunkDelivered(from, id, chunkSize, burst) })
 }
 
 // onReject reacts to a responder declining a request: the pending entry is
@@ -165,9 +227,9 @@ func (nd *Node) onChunkDelivered(from PeerID, id chunkstream.ChunkID, size units
 	if fresh := !nd.buf.Has(id); nd.buf.Set(id) && fresh {
 		// First receipt of an in-window chunk: account its diffusion delay
 		// (birth at the source calendar to arrival here) on the ledger.
-		if now, born := nd.net.Eng.Now(), nd.net.Cfg.Calendar.BornAt(id); now >= born {
-			nd.net.Ledger.DiffusionDelaySum += now.Sub(born)
-			nd.net.Ledger.DiffusionChunks++
+		if now, born := nd.sc.eng.Now(), nd.net.Cfg.Calendar.BornAt(id); now >= born {
+			nd.sc.ledger.DiffusionDelaySum += now.Sub(born)
+			nd.sc.ledger.DiffusionChunks++
 		}
 	}
 	if p, ok := nd.partners[from]; ok {

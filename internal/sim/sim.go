@@ -1,12 +1,17 @@
 // Package sim implements the deterministic discrete-event engine underneath
 // every emulated swarm.
 //
-// The engine is single-goroutine by design: determinism is a hard
+// Each Engine is single-goroutine by design: determinism is a hard
 // requirement (the same seed must regenerate the same paper table
-// byte-for-byte), so parallelism belongs one level up, across independent
-// experiments (see internal/runner), never inside one engine. Events
+// byte-for-byte), so an engine never runs events concurrently. Events
 // scheduled for the same instant fire in scheduling order, which makes the
 // tie-break rule explicit instead of accidental.
+//
+// Parallelism lives at two levels above the single engine: across
+// independent experiments (see internal/study), and — since the sharded
+// engine (sharded.go) — across shards inside one experiment, where N
+// engines run in conservative lockstep windows and exchange work through
+// deterministically ordered mailboxes.
 package sim
 
 import (
@@ -84,9 +89,16 @@ func New(seed int64) *Engine {
 // Now reports the current virtual time.
 func (e *Engine) Now() Time { return e.now }
 
-// Rand exposes the engine's deterministic random source. All randomness in
-// a simulation must flow through this source; using any other source breaks
-// reproducibility.
+// Rand exposes the engine's deterministic random source.
+//
+// Ordering contract: the source is shared by every caller on this engine,
+// so the draw sequence is defined by event execution order — (at, seq)
+// order during a run, plus setup-code draws in program order before Run.
+// Any randomness consumed outside that order (from another goroutine, or
+// interleaved with a different engine's events) breaks reproducibility.
+// Under the sharded engine each shard owns its own Engine and therefore its
+// own stream; model code must draw from the engine of the shard whose event
+// is executing, never from a neighbour shard's source.
 func (e *Engine) Rand() *rand.Rand { return e.rng }
 
 // Processed reports how many events have executed so far.
@@ -95,6 +107,18 @@ func (e *Engine) Processed() uint64 { return e.processed }
 // Pending reports how many live events are waiting in the queue. Cancelled
 // timers that have not yet been discarded are excluded.
 func (e *Engine) Pending() int { return len(e.cur) + e.wheelCount - e.ghost }
+
+// NextAt reports the instant of the earliest live pending event, or false
+// when the queue holds none. Cancelled timers encountered on the way to the
+// head are discarded, exactly as Step would; the observable schedule is
+// unchanged. The sharded coordinator uses this peek to clip lockstep
+// windows at the next global event and to jump over idle gaps.
+func (e *Engine) NextAt() (Time, bool) {
+	if !e.headLive() {
+		return 0, false
+	}
+	return e.cur[0].at, true
+}
 
 // Schedule runs fn after delay of virtual time. A negative delay is a
 // programming error and panics: allowing it would silently reorder the past.

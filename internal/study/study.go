@@ -141,6 +141,12 @@ type Study struct {
 	// LeanLedger forces the O(1)-memory ledger regardless of world size
 	// (it switches on automatically at experiment.LeanLedgerAutoPeers).
 	LeanLedger bool `json:"lean_ledger,omitempty"`
+	// Shards splits every cell's swarm across that many parallel shard
+	// engines (experiment.Config.Shards). 0 or 1 is the serial engine;
+	// results at N > 1 are deterministic per N but differ from serial the
+	// way a different seed's would. Combine with Workers thoughtfully:
+	// each in-flight cell runs Shards goroutines.
+	Shards int `json:"shards,omitempty"`
 
 	// Metrics names the comparison table's columns by registered metric
 	// key (empty = the continuity / source load / diffusion delay
@@ -220,6 +226,9 @@ func (st *Study) Validate() error {
 	}
 	if st.Trials < 0 {
 		return fmt.Errorf("study %s: negative trials %d", st.Name, st.Trials)
+	}
+	if st.Shards < 0 {
+		return fmt.Errorf("study %s: negative shards %d", st.Name, st.Shards)
 	}
 	seenApp := map[string]bool{}
 	for _, app := range st.AppList() {
@@ -386,6 +395,7 @@ func (c cell) config(st *Study) (experiment.Config, error) {
 		cfg.ScalePeers(st.PeerFactor)
 	}
 	cfg.LeanLedger = st.LeanLedger
+	cfg.Shards = st.Shards
 	cfg.Scenario = c.scn
 	cfg.Strategy = c.strategy
 	if c.variant.Blind || c.variant.Mutate != nil {

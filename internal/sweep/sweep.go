@@ -59,7 +59,11 @@ type Spec struct {
 	// LeanLedger forces O(1)-memory ground-truth accounting for every
 	// trial; large worlds switch to it automatically.
 	LeanLedger bool
-	// Workers bounds parallel trials (0 = GOMAXPROCS).
+	// Shards splits every trial's swarm across that many parallel shard
+	// engines (experiment.Config.Shards); 0 or 1 keeps the serial engine.
+	Shards int
+	// Workers bounds parallel trials (0 = GOMAXPROCS). Each in-flight
+	// trial additionally runs Shards goroutines.
 	Workers int
 
 	// Variants, when non-empty, replaces the stock run of every app with
@@ -150,6 +154,7 @@ func (s Spec) Study() *study.Study {
 		PeerFactor: s.PeerFactor,
 		Peers:      s.Peers,
 		LeanLedger: s.LeanLedger,
+		Shards:     s.Shards,
 	}
 }
 

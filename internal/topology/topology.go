@@ -393,3 +393,42 @@ func (t *Topology) OneWayDelay(a, b Host) time.Duration {
 func (t *Topology) RTT(a, b Host) time.Duration {
 	return 2 * t.OneWayDelay(a, b)
 }
+
+// MinInterGroupDelay reports the minimum OneWayDelay between any two hosts
+// whose ASes fall in different groups, for a partition of (some of) the
+// ASes into groups. The sharded engine uses this as its conservative
+// lookahead: with every AS kept whole inside one shard, no cross-shard
+// message can arrive sooner than this bound.
+//
+// OneWayDelay is a pure function of the endpoints' (Subnet, AS, Country),
+// so the exact minimum is found by scanning subnet pairs with synthetic
+// hosts — O(subnets²), at most a few million cheap evaluations even for
+// 10⁵-peer worlds, paid once per run. ASes absent from the partition map
+// host no peers and are skipped. Returns 0 when no cross-group pair exists
+// (fewer than two populated groups).
+func (t *Topology) MinInterGroupDelay(group map[ASN]int) time.Duration {
+	best := time.Duration(0)
+	found := false
+	for i := 0; i < len(t.subnets); i++ {
+		sa := t.subnets[i]
+		ga, ok := group[sa.AS]
+		if !ok {
+			continue
+		}
+		ca, _ := t.CountryOfAS(sa.AS)
+		ha := Host{Subnet: sa.ID, AS: sa.AS, Country: ca}
+		for j := i + 1; j < len(t.subnets); j++ {
+			sb := t.subnets[j]
+			gb, ok := group[sb.AS]
+			if !ok || gb == ga {
+				continue
+			}
+			cb, _ := t.CountryOfAS(sb.AS)
+			d := t.OneWayDelay(ha, Host{Subnet: sb.ID, AS: sb.AS, Country: cb})
+			if !found || d < best {
+				best, found = d, true
+			}
+		}
+	}
+	return best
+}

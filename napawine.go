@@ -135,7 +135,12 @@ type Scale struct {
 	// LeanLedger forces O(1)-memory ground-truth accounting regardless of
 	// world size; large worlds switch to it automatically.
 	LeanLedger bool
-	// Workers bounds parallel experiments (0 = GOMAXPROCS).
+	// Shards splits every run's swarm across that many parallel shard
+	// engines, partitioned by AS (experiment.Config.Shards); 0 or 1 keeps
+	// the serial engine and its byte-identical output.
+	Shards int
+	// Workers bounds parallel experiments (0 = GOMAXPROCS). Each
+	// in-flight experiment additionally runs Shards goroutines.
 	Workers int
 	// Scenario names a registered workload scenario to replay in every
 	// run ("" = stationary default). See ScenarioNames.
@@ -171,6 +176,7 @@ func (s Scale) Battery() *Study {
 		PeerFactor: s.PeerFactor,
 		Peers:      s.Peers,
 		LeanLedger: s.LeanLedger,
+		Shards:     s.Shards,
 	}
 }
 
