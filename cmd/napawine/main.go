@@ -88,9 +88,10 @@ func validateArgs(exp string, appList []string, scenarioName, scenarioFile, stra
 		return fmt.Errorf("-scenario-file runs no simulation under -exp table1 (the testbed inventory is static)")
 	}
 	if strategyName != "" {
+		// StrategyByName's own error lists the registry and the hybrid
+		// grammar, so a parameterized typo gets the syntax it needs.
 		if _, err := napawine.StrategyByName(strategyName); err != nil {
-			return fmt.Errorf("unknown -strategy %q (valid: %s)",
-				strategyName, strings.Join(napawine.StrategyNames(), ", "))
+			return fmt.Errorf("bad -strategy: %w", err)
 		}
 		if exp == "table1" {
 			return fmt.Errorf("-strategy runs no simulation under -exp table1 (the testbed inventory is static)")
@@ -150,13 +151,16 @@ func scenarioList() string {
 	return b.String()
 }
 
-// strategyList renders the registry for -strategy-list.
+// strategyList renders the registry for -strategy-list: every registered
+// name with its description, plus the parameterized hybrid family grammar.
 func strategyList() string {
 	var b strings.Builder
 	b.WriteString("registered chunk strategies:\n")
 	for _, name := range napawine.StrategyNames() {
 		fmt.Fprintf(&b, "  %-14s %s\n", name, napawine.StrategyDescription(name))
 	}
+	b.WriteString("parameterized family:\n")
+	fmt.Fprintf(&b, "  %s\n", napawine.HybridGrammar)
 	return b.String()
 }
 
@@ -193,7 +197,8 @@ func main() {
 		scn       = flag.String("scenario", "", "workload scenario to inject (see -scenario-list)")
 		scnFile   = flag.String("scenario-file", "", "JSON scenario file to inject (see README: authoring scenario files)")
 		listScens = flag.Bool("scenario-list", false, "list registered workload scenarios and exit")
-		strat     = flag.String("strategy", "", "chunk-scheduling strategy (see -strategy-list)")
+		strat     = flag.String("strategy", "", "chunk-scheduling strategy: registered name or hybrid:k=v,... (see -strategy-list)")
+		queueDep  = flag.Int("queue-depth", 0, "bound every peer's uplink queue at this many chunks, tail-dropping beyond it (0 = unbounded, congestion off)")
 		listStrat = flag.Bool("strategy-list", false, "list registered chunk strategies and exit")
 		studyName = flag.String("study", "", "registered study grid to run (see -study-list)")
 		studyFile = flag.String("study-file", "", "JSON study file to run (see README: running studies)")
@@ -220,6 +225,11 @@ func main() {
 	}
 	if *shards < 0 {
 		fmt.Fprintf(os.Stderr, "napawine: negative -shards %d\n", *shards)
+		flag.Usage()
+		os.Exit(2)
+	}
+	if *queueDep < 0 {
+		fmt.Fprintf(os.Stderr, "napawine: negative -queue-depth %d\n", *queueDep)
 		flag.Usage()
 		os.Exit(2)
 	}
@@ -324,7 +334,7 @@ func main() {
 			os.Exit(2)
 		}
 		st := loadStudy(*studyName, *studyFile)
-		applyStudyOverrides(st, *seed, *seeds, *duration, *factor, *peers, *leanLed, *shards, parseApps(*appsFlag), explicit)
+		applyStudyOverrides(st, *seed, *seeds, *duration, *factor, *peers, *leanLed, *shards, *queueDep, parseApps(*appsFlag), explicit)
 		// Re-validate after the overrides and before -out opens: a bad
 		// -apps override (or any axis error) must be a usage error that
 		// leaves a previous run's artifact untouched.
@@ -380,7 +390,7 @@ func main() {
 
 	if *seeds > 1 {
 		ds, finishDash := startDash()
-		runSweep(appList, *seed, *seeds, *duration, effFactor, *peers, *leanLed, *shards, *workers, *exp, *csv, *scn, fileSpec, *strat, out, ds, writeSVGs)
+		runSweep(appList, *seed, *seeds, *duration, effFactor, *peers, *leanLed, *shards, *queueDep, *workers, *exp, *csv, *scn, fileSpec, *strat, out, ds, writeSVGs)
 		closeOut()
 		finishDash()
 		return
@@ -402,11 +412,15 @@ func main() {
 	if *strat != "" {
 		fmt.Fprintf(os.Stderr, "strategy: %s\n", *strat)
 	}
+	if *queueDep > 0 {
+		fmt.Fprintf(os.Stderr, "congestion: uplink queue depth %d (tail-drop)\n", *queueDep)
+	}
 	start := time.Now()
 	sc := napawine.Scale{
 		Seed: *seed, Duration: *duration, PeerFactor: effFactor, Peers: *peers,
 		LeanLedger: *leanLed, Shards: *shards, Workers: *workers,
-		Scenario: *scn, ScenarioSpec: fileSpec, Strategy: *strat, Apps: appList,
+		Scenario: *scn, ScenarioSpec: fileSpec, Strategy: *strat,
+		QueueDepth: *queueDep, Apps: appList,
 	}
 	ds, finishDash := startDash()
 	runOpts := []napawine.StudyOption{napawine.WithObserver(&progress{start: start})}
@@ -469,6 +483,20 @@ func main() {
 		if series := napawine.SeriesTable(results); series != nil {
 			render(series)
 		}
+	}
+	if *queueDep > 0 {
+		// Per-app congestion ground truth, printed with the tables so a
+		// bounded-queue run documents its loss regime (and CI can assert
+		// the queues actually dropped).
+		for _, r := range results {
+			loss := 0.0
+			if offered := r.ChunksServed + r.Drops; offered > 0 {
+				loss = 100 * float64(r.Drops) / float64(offered)
+			}
+			fmt.Fprintf(out, "%s congestion: drops %d, retransmits %d, backoffs %d, loss %.2f%%\n",
+				r.App, r.Drops, r.Retransmits, r.Backoffs, loss)
+		}
+		fmt.Fprintln(out)
 	}
 	writeSVGs(append(napawine.SeriesPlots(results), napawine.Figure1Plots(results)...))
 	closeOut()
@@ -540,7 +568,7 @@ func loadStudy(name, file string) *napawine.Study {
 // applyStudyOverrides folds explicitly-set command-line knobs over the
 // study's own, so one registered grid scales from a CI smoke run to the
 // full campaign.
-func applyStudyOverrides(st *napawine.Study, seed int64, trials int, duration time.Duration, factor float64, peers int, leanLedger bool, shards int, appList []string, explicit map[string]bool) {
+func applyStudyOverrides(st *napawine.Study, seed int64, trials int, duration time.Duration, factor float64, peers int, leanLedger bool, shards int, queueDepth int, appList []string, explicit map[string]bool) {
 	if explicit["duration"] {
 		st.Duration = napawine.StudyDuration(duration)
 	}
@@ -566,6 +594,12 @@ func applyStudyOverrides(st *napawine.Study, seed int64, trials int, duration ti
 	if explicit["shards"] {
 		st.Shards = shards
 	}
+	if explicit["queue-depth"] {
+		// An explicit depth pins the whole grid, collapsing any congestion
+		// axis the study declared (the two are mutually exclusive).
+		st.QueueDepths = nil
+		st.QueueDepth = queueDepth
+	}
 	if explicit["apps"] {
 		st.Apps = appList
 	}
@@ -574,9 +608,9 @@ func applyStudyOverrides(st *napawine.Study, seed int64, trials int, duration ti
 // runStudy executes a study grid and renders its comparison table, with
 // the live dashboard and SVG artifacts riding the same observer stream.
 func runStudy(st *napawine.Study, workers int, csv bool, out io.Writer, ds *dash.Server, writeSVGs func([]plot.Artifact)) {
-	fmt.Fprintf(os.Stderr, "study %s: %d runs (%d apps × %d strategies × %d scenarios × %d variants × %d seeds)\n",
+	fmt.Fprintf(os.Stderr, "study %s: %d runs (%d apps × %d strategies × %d scenarios × %d variants × %d congestion levels × %d seeds)\n",
 		st.Name, st.Runs(), len(st.AppList()), len(st.StrategyList()),
-		len(st.ScenarioList()), len(st.VariantList()), len(st.SeedList()))
+		len(st.ScenarioList()), len(st.VariantList()), len(st.QueueDepthList()), len(st.SeedList()))
 	start := time.Now()
 	opts := []napawine.StudyOption{
 		napawine.WithWorkers(workers),
@@ -602,7 +636,7 @@ func runStudy(st *napawine.Study, workers int, csv bool, out io.Writer, ds *dash
 // runSweep executes the replicated multi-seed battery and renders the
 // aggregated (mean ± stderr) tables. Figures and the hop sweep are
 // single-run reductions and are not replicated here.
-func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, peers int, leanLedger bool, shards int, workers int, exp string, csv bool, scn string, fileSpec *napawine.ScenarioSpec, strat string, out io.Writer, ds *dash.Server, writeSVGs func([]plot.Artifact)) {
+func runSweep(appList []string, seed int64, trials int, duration time.Duration, factor float64, peers int, leanLedger bool, shards int, queueDepth int, workers int, exp string, csv bool, scn string, fileSpec *napawine.ScenarioSpec, strat string, out io.Writer, ds *dash.Server, writeSVGs func([]plot.Artifact)) {
 	if exp == "fig1" || exp == "fig2" || exp == "hopsweep" {
 		fatal(fmt.Errorf("-exp %s is a single-run reduction; drop -seeds or use -seeds 1", exp))
 	}
@@ -616,6 +650,9 @@ func runSweep(appList []string, seed int64, trials int, duration time.Duration, 
 	}
 	if strat != "" {
 		fmt.Fprintf(os.Stderr, "strategy: %s\n", strat)
+	}
+	if queueDepth > 0 {
+		fmt.Fprintf(os.Stderr, "congestion: uplink queue depth %d (tail-drop)\n", queueDepth)
 	}
 	start := time.Now()
 	spec := napawine.SweepSpec{
@@ -631,6 +668,7 @@ func runSweep(appList []string, seed int64, trials int, duration time.Duration, 
 		Scenario:     scn,
 		ScenarioSpec: fileSpec,
 		Strategy:     strat,
+		QueueDepth:   queueDepth,
 	}
 	opts := []napawine.StudyOption{napawine.WithObserver(&progress{start: start})}
 	if ds != nil {

@@ -81,10 +81,55 @@ func Reachable(a, b Link) bool {
 	return a.AcceptsFrom(b) || b.AcceptsFrom(a)
 }
 
+// LossTailDrop is the only loss discipline the bounded queue implements
+// today: a transfer arriving at a full queue is discarded outright, the way
+// a FIFO router queue drops the tail of a burst. The CongestionModel field
+// exists so alternative disciplines (RED-style early drop) can register
+// later without changing any plumbing.
+const LossTailDrop = "tail-drop"
+
+// CongestionModel configures the bounded-queue behaviour of ports. The zero
+// value — unbounded queue, no loss — is the historical model and leaves the
+// event stream byte-identical to builds without the knob.
+type CongestionModel struct {
+	// QueueDepth bounds how many transfers a port queues: a TryReserve
+	// arriving with this many reservations outstanding is tail-dropped.
+	// 0 keeps the unbounded FIFO.
+	QueueDepth int
+	// LossMode names the drop discipline; "" selects LossTailDrop.
+	// Meaningful only with QueueDepth > 0.
+	LossMode string
+}
+
+// Enabled reports whether the model bounds queues at all.
+func (m CongestionModel) Enabled() bool { return m.QueueDepth > 0 }
+
+// Validate rejects malformed models: negative depths, unknown loss modes,
+// or a loss mode without a queue bound to apply it to.
+func (m CongestionModel) Validate() error {
+	if m.QueueDepth < 0 {
+		return fmt.Errorf("access: negative queue depth %d", m.QueueDepth)
+	}
+	switch m.LossMode {
+	case "", LossTailDrop:
+	default:
+		return fmt.Errorf("access: unknown loss mode %q (valid: %q)", m.LossMode, LossTailDrop)
+	}
+	if m.LossMode != "" && m.QueueDepth == 0 {
+		return fmt.Errorf("access: loss mode %q without a queue depth", m.LossMode)
+	}
+	return nil
+}
+
 // Port serializes transfers over one direction of an access link in FIFO
 // order. It is the mechanism that makes high-capacity peers complete chunk
 // uploads sooner and therefore get re-selected — the emergent side of the
 // BW preference every application shows.
+//
+// A port may carry a bounded queue (SetQueueLimit): TryReserve then
+// tail-drops transfers that would exceed the bound, and the port counts
+// accepted and dropped transfers for loss reporting. The default limit of 0
+// keeps the historical unbounded FIFO.
 type Port struct {
 	rate      units.BitRate
 	busyUntil sim.Time
@@ -93,6 +138,12 @@ type Port struct {
 	queued int
 	// busyAccum integrates busy time for utilization reporting.
 	busyAccum time.Duration
+	// limit bounds queued when positive; 0 = unbounded.
+	limit int
+	// accepted and dropped count TryReserve/Reserve outcomes over the
+	// port's lifetime (drops only happen under a positive limit).
+	accepted int64
+	dropped  int64
 }
 
 // NewPort builds a port of the given rate. A non-positive rate panics: a
@@ -119,11 +170,33 @@ func (p *Port) SetRate(rate units.BitRate) {
 	p.rate = rate
 }
 
+// SetQueueLimit bounds the port's transfer queue from now on: a TryReserve
+// arriving with limit reservations outstanding is tail-dropped. 0 restores
+// the unbounded FIFO; negative panics.
+func (p *Port) SetQueueLimit(limit int) {
+	if limit < 0 {
+		panic(fmt.Sprintf("access: negative queue limit %d", limit))
+	}
+	p.limit = limit
+}
+
+// QueueLimit reports the configured bound (0 = unbounded).
+func (p *Port) QueueLimit() int { return p.limit }
+
+// drain resets the queue counter once every booked transfer has finished.
+// Reserve used to do this lazily on its next call, which left the internal
+// counter stale between reservations (Queued compensated by checking
+// busyUntil); now every entry point that reads or extends the queue drains
+// first, so the counter is always exact.
+func (p *Port) drain(now sim.Time) {
+	if p.busyUntil <= now {
+		p.queued = 0
+	}
+}
+
 // Queued reports how many reservations are outstanding at now.
 func (p *Port) Queued(now sim.Time) int {
-	if p.busyUntil <= now {
-		return 0
-	}
+	p.drain(now)
 	return p.queued
 }
 
@@ -138,18 +211,39 @@ func (p *Port) Backlog(now sim.Time) time.Duration {
 
 // Reserve books the port for size bytes starting no earlier than now and
 // returns the transfer's start and end instants. Reservations are FIFO:
-// each begins when the previous one ends.
+// each begins when the previous one ends. Reserve never drops — it is the
+// must-send path (control traffic, callers predating the bounded queue);
+// congestion-sensitive callers use TryReserve.
 func (p *Port) Reserve(now sim.Time, size units.ByteSize) (start, end sim.Time) {
+	p.drain(now)
+	return p.book(now, size)
+}
+
+// TryReserve is Reserve under the port's queue bound: with a positive limit
+// and that many reservations already outstanding the transfer is
+// tail-dropped (counted, ok=false) instead of queued. With no limit it is
+// exactly Reserve.
+func (p *Port) TryReserve(now sim.Time, size units.ByteSize) (start, end sim.Time, ok bool) {
+	p.drain(now)
+	if p.limit > 0 && p.queued >= p.limit {
+		p.dropped++
+		return 0, 0, false
+	}
+	start, end = p.book(now, size)
+	return start, end, true
+}
+
+// book extends the FIFO by one transfer; callers have already drained.
+func (p *Port) book(now sim.Time, size units.ByteSize) (start, end sim.Time) {
 	start = now
 	if p.busyUntil > start {
 		start = p.busyUntil
-	} else {
-		p.queued = 0 // previous burst fully drained
 	}
 	d := p.rate.TransmitTime(size)
 	end = start.Add(d)
 	p.busyUntil = end
 	p.queued++
+	p.accepted++
 	p.busyAccum += d
 	return start, end
 }
@@ -157,6 +251,32 @@ func (p *Port) Reserve(now sim.Time, size units.ByteSize) (start, end sim.Time) 
 // BusyTime reports the total serialization time booked so far; dividing by
 // the experiment duration yields link utilization.
 func (p *Port) BusyTime() time.Duration { return p.busyAccum }
+
+// Utilization reports the fraction of elapsed the port spent serializing
+// booked transfers (may exceed 1 while a backlog extends past "now").
+func (p *Port) Utilization(elapsed time.Duration) float64 {
+	if elapsed <= 0 {
+		return 0
+	}
+	return float64(p.busyAccum) / float64(elapsed)
+}
+
+// Accepted reports how many transfers the port has booked over its
+// lifetime; Dropped how many the queue bound tail-dropped. LossRate is
+// drops over offered load (0 when nothing was offered).
+func (p *Port) Accepted() int64 { return p.accepted }
+
+// Dropped reports the lifetime tail-drop count (0 without a queue limit).
+func (p *Port) Dropped() int64 { return p.dropped }
+
+// LossRate reports dropped / (accepted + dropped), 0 when idle.
+func (p *Port) LossRate() float64 {
+	offered := p.accepted + p.dropped
+	if offered == 0 {
+		return 0
+	}
+	return float64(p.dropped) / float64(offered)
+}
 
 // MTU-sized payload used to packetize chunks. 1250 bytes is the paper's own
 // calibration packet (1 ms at 10 Mbit/s).

@@ -351,3 +351,135 @@ func TestPacketizeIntoReusesScratch(t *testing.T) {
 		t.Error("PacketizeInto reallocated despite sufficient scratch capacity")
 	}
 }
+
+// TestPortQueuedAcrossDrainBoundaries pins the explicit-drain fix: the
+// internal queue counter used to reset only lazily inside the next Reserve,
+// so any accessor-only sequence accumulated stale state. Now every entry
+// point drains first and the counter is exact at all times.
+func TestPortQueuedAcrossDrainBoundaries(t *testing.T) {
+	p := NewPort(1 * units.Mbps)
+	p.Reserve(0, 125*units.KB) // busy until 1s
+	p.Reserve(0, 125*units.KB) // busy until 2s
+	if got := p.Queued(sim.Time(1500 * time.Millisecond)); got != 2 {
+		t.Errorf("mid-backlog queued = %d, want 2", got)
+	}
+	// Reading Queued past the drain boundary resets the counter...
+	if got := p.Queued(sim.Time(3 * time.Second)); got != 0 {
+		t.Errorf("post-drain queued = %d, want 0", got)
+	}
+	// ...and a reservation after the read counts from zero, not from the
+	// stale pre-drain value.
+	p.Reserve(sim.Time(3*time.Second), 125*units.KB)
+	if got := p.Queued(sim.Time(3 * time.Second)); got != 1 {
+		t.Errorf("post-drain reservation queued = %d, want 1", got)
+	}
+	if got := p.Backlog(sim.Time(3 * time.Second)); got != time.Second {
+		t.Errorf("post-drain backlog = %v, want 1s", got)
+	}
+}
+
+// TestPortSetRateMidBacklog pins the throttle contract while a backlog
+// stands: booked transfers keep their completion times, later reservations
+// serialize at the new rate behind them, and Queued/Backlog stay exact
+// through the change.
+func TestPortSetRateMidBacklog(t *testing.T) {
+	p := NewPort(1 * units.Mbps)
+	p.Reserve(0, 125*units.KB) // busy until 1s at the old rate
+	p.SetRate(2 * units.Mbps)
+	if got := p.Backlog(0); got != time.Second {
+		t.Errorf("backlog after SetRate = %v, want 1s (booked transfer keeps its time)", got)
+	}
+	start, end := p.Reserve(0, 125*units.KB) // 0.5s at the new rate
+	if start != sim.Time(time.Second) || end != sim.Time(1500*time.Millisecond) {
+		t.Errorf("post-throttle reservation (%v,%v), want (1s,1.5s)", start, end)
+	}
+	if got := p.Queued(0); got != 2 {
+		t.Errorf("queued mid-backlog = %d, want 2", got)
+	}
+	if got := p.Queued(sim.Time(2 * time.Second)); got != 0 {
+		t.Errorf("queued after drain = %d, want 0", got)
+	}
+}
+
+// TestPortTryReserveTailDrop exercises the bounded queue: at the limit a
+// TryReserve is tail-dropped and counted, the backlog is untouched, and the
+// port accepts again once the queue drains.
+func TestPortTryReserveTailDrop(t *testing.T) {
+	p := NewPort(1 * units.Mbps)
+	p.SetQueueLimit(1)
+	if p.QueueLimit() != 1 {
+		t.Fatalf("QueueLimit = %d, want 1", p.QueueLimit())
+	}
+	start, end, ok := p.TryReserve(0, 125*units.KB)
+	if !ok || start != 0 || end != sim.Time(time.Second) {
+		t.Fatalf("first TryReserve = (%v,%v,%v), want (0,1s,true)", start, end, ok)
+	}
+	if _, _, ok := p.TryReserve(0, 125*units.KB); ok {
+		t.Fatal("TryReserve at the limit should tail-drop")
+	}
+	if p.Accepted() != 1 || p.Dropped() != 1 {
+		t.Errorf("accepted/dropped = %d/%d, want 1/1", p.Accepted(), p.Dropped())
+	}
+	if got := p.LossRate(); got != 0.5 {
+		t.Errorf("LossRate = %v, want 0.5", got)
+	}
+	if got := p.Backlog(0); got != time.Second {
+		t.Errorf("dropped transfer extended the backlog: %v, want 1s", got)
+	}
+	// After the queue drains, the port accepts again.
+	if _, _, ok := p.TryReserve(sim.Time(2*time.Second), 125*units.KB); !ok {
+		t.Error("post-drain TryReserve should accept")
+	}
+}
+
+// TestPortTryReserveUnlimitedMatchesReserve pins the byte-identical-default
+// contract: without a queue limit TryReserve books exactly what Reserve
+// would, transfer for transfer.
+func TestPortTryReserveUnlimitedMatchesReserve(t *testing.T) {
+	a, b := NewPort(6*units.Mbps), NewPort(6*units.Mbps)
+	times := []sim.Time{0, 0, sim.Time(time.Second), sim.Time(5 * time.Second)}
+	for i, now := range times {
+		ws, we := a.Reserve(now, 48*units.KB)
+		gs, ge, ok := b.TryReserve(now, 48*units.KB)
+		if !ok || gs != ws || ge != we {
+			t.Fatalf("transfer %d: TryReserve = (%v,%v,%v), Reserve = (%v,%v)", i, gs, ge, ok, ws, we)
+		}
+	}
+	if a.Accepted() != b.Accepted() || b.Dropped() != 0 {
+		t.Errorf("counter mismatch: %d/%d vs %d/%d", a.Accepted(), a.Dropped(), b.Accepted(), b.Dropped())
+	}
+}
+
+func TestSetQueueLimitNegativePanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("SetQueueLimit(-1) should panic")
+		}
+	}()
+	NewPort(units.Mbps).SetQueueLimit(-1)
+}
+
+func TestCongestionModelValidate(t *testing.T) {
+	cases := []struct {
+		name    string
+		m       CongestionModel
+		ok      bool
+		enabled bool
+	}{
+		{"zero", CongestionModel{}, true, false},
+		{"bounded", CongestionModel{QueueDepth: 2}, true, true},
+		{"bounded tail-drop", CongestionModel{QueueDepth: 2, LossMode: LossTailDrop}, true, true},
+		{"negative depth", CongestionModel{QueueDepth: -1}, false, false},
+		{"unknown mode", CongestionModel{QueueDepth: 2, LossMode: "red"}, false, false},
+		{"mode without depth", CongestionModel{LossMode: LossTailDrop}, false, false},
+	}
+	for _, c := range cases {
+		err := c.m.Validate()
+		if (err == nil) != c.ok {
+			t.Errorf("%s: Validate() = %v, want ok=%v", c.name, err, c.ok)
+		}
+		if c.ok && c.m.Enabled() != c.enabled {
+			t.Errorf("%s: Enabled() = %v, want %v", c.name, c.m.Enabled(), c.enabled)
+		}
+	}
+}

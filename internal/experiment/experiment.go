@@ -14,6 +14,7 @@ import (
 	"sort"
 	"time"
 
+	"napawine/internal/access"
 	"napawine/internal/analysis"
 	"napawine/internal/apps"
 	"napawine/internal/chunkstream"
@@ -77,6 +78,12 @@ type Config struct {
 	ContactFanout int
 	JitterMax     time.Duration
 	UplinkBusyCap time.Duration
+
+	// Congestion bounds every peer's uplink queue (tail-drop loss beyond
+	// the depth) and switches the overlay to its congestion-signal path:
+	// timeout backoff, retransmits, loss-aware partner weighting. The zero
+	// value keeps today's unbounded FIFO and the byte-identical defaults.
+	Congestion access.CongestionModel
 
 	// Shards splits the swarm across that many parallel shard engines, one
 	// goroutine each, partitioned by AS (every AS lives whole on one
@@ -274,6 +281,15 @@ type Result struct {
 	MeanDiffusionDelay time.Duration
 	DiffusionChunks    int64
 
+	// Congestion ground truth, all zero unless Cfg.Congestion bounds the
+	// uplink queues: chunks tail-dropped at full queues, re-requests
+	// issued after a timeout, partner backoff activations, and the chunks
+	// that did get served (the loss-rate denominator alongside Drops).
+	Drops        int64
+	Retransmits  int64
+	Backoffs     int64
+	ChunksServed int64
+
 	// Scenario names the workload timeline the run executed ("" = none).
 	Scenario string
 	// Series is the per-bucket time series a scenario run samples; empty
@@ -315,6 +331,9 @@ const cancelPoll = time.Second
 // callers that merely wire up Ctrl-C.
 func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	cfg.fillDefaults()
+	if err := cfg.Congestion.Validate(); err != nil {
+		return nil, fmt.Errorf("experiment: %w", err)
+	}
 	prof := cfg.Profile
 	if prof == nil {
 		var err error
@@ -374,6 +393,7 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 		ContactFanout: cfg.ContactFanout,
 		JitterMax:     cfg.JitterMax,
 		UplinkBusyCap: cfg.UplinkBusyCap,
+		Congestion:    cfg.Congestion,
 		LeanLedger:    lean,
 	}, part)
 
@@ -563,6 +583,10 @@ func RunCtx(ctx context.Context, cfg Config) (*Result, error) {
 	if led.DiffusionChunks > 0 {
 		res.MeanDiffusionDelay = led.DiffusionDelaySum / time.Duration(led.DiffusionChunks)
 	}
+	res.Drops = led.DropsTotal
+	res.Retransmits = led.RetransmitsTotal
+	res.Backoffs = led.BackoffsTotal
+	res.ChunksServed = led.ChunksServedTotal
 	return res, nil
 }
 

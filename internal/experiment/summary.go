@@ -51,6 +51,15 @@ type Summary struct {
 	VideoBytes      int64
 	DiffusionDelayS float64
 	DiffusionChunks int64
+
+	// Congestion totals, all zero when the run had no queue bound. LossPct
+	// is drops over offered load (served + dropped), the per-run loss rate
+	// the awareness ablation compares strategies on.
+	Drops        int64
+	Retransmits  int64
+	Backoffs     int64
+	ChunksServed int64
+	LossPct      float64
 }
 
 // SummaryCell flattens one Table IV (property, app) cell group into the
@@ -82,6 +91,13 @@ func Summarize(r *Result) Summary {
 		VideoBytes:      r.VideoBytes,
 		DiffusionDelayS: r.MeanDiffusionDelay.Seconds(),
 		DiffusionChunks: r.DiffusionChunks,
+		Drops:           r.Drops,
+		Retransmits:     r.Retransmits,
+		Backoffs:        r.Backoffs,
+		ChunksServed:    r.ChunksServed,
+	}
+	if offered := r.ChunksServed + r.Drops; offered > 0 {
+		s.LossPct = 100 * float64(r.Drops) / float64(offered)
 	}
 
 	rx, tx, all, crx, ctx := r.probeAccums()

@@ -32,7 +32,26 @@ type partner struct {
 	reqW, retW float64
 	// consecutive failures (timeouts/rejections) since the last success.
 	failures int
+	// Congestion observations, maintained only when the network's
+	// congestion model is on (node.go gates every write): lossEWMA tracks
+	// the fraction of requests to this partner that timed out (1 = every
+	// recent request lost), and backoffUntil holds requests off the
+	// partner after a timeout, doubling per consecutive failure.
+	lossEWMA     float64
+	backoffUntil sim.Time
 }
+
+// lossEWMARetain is the smoothing of the per-partner observed-loss EWMA:
+// each timeout pulls it toward 1 and each delivery toward 0 with this
+// retention. 0.75 forgets a loss burst in a handful of deliveries — fast
+// enough to rehabilitate a partner whose queue drained.
+const lossEWMARetain = 0.75
+
+// congestionFailureLimit replaces the historical 4-failure partner drop
+// when the congestion model is on: transient queue overload should put a
+// partner into backoff, not evict it — eviction is for peers that look
+// dead, and under congestion that takes a longer streak.
+const congestionFailureLimit = 8
 
 // pendingReq tracks one outstanding chunk request. Stored by value in the
 // inflight map (keyed by chunk id) so issuing a request allocates nothing.
@@ -588,6 +607,8 @@ func (nd *Node) newPartner(other *Node, info policy.Info) *partner {
 	p.node = other
 	p.info = info
 	p.failures = 0
+	p.lossEWMA = 0
+	p.backoffUntil = 0
 	return p
 }
 
@@ -599,6 +620,8 @@ func (nd *Node) recyclePartner(p *partner) {
 	p.info = policy.Info{}
 	p.reqW, p.retW = 0, 0
 	p.failures = 0
+	p.lossEWMA = 0
+	p.backoffUntil = 0
 	nd.partnerPool = append(nd.partnerPool, p)
 }
 
@@ -834,6 +857,7 @@ func (nd *Node) scheduleTick() {
 		}
 	}
 	slices.Sort(nd.expired)
+	cong := nd.net.congestionOn()
 	for _, id := range nd.expired {
 		req := nd.inflight[id]
 		delete(nd.inflight, id)
@@ -841,9 +865,34 @@ func (nd *Node) scheduleTick() {
 		if pr, ok := nd.partners[req.from]; ok {
 			pr.failures++
 			pr.info.EstRate /= 2 // stale partner loses standing
+			if cong {
+				// A timeout is the requester's only evidence of a tail
+				// drop: absorb it into the partner's observed-loss EWMA
+				// and hold requests off the partner for an exponentially
+				// growing window.
+				pr.lossEWMA = pr.lossEWMA*lossEWMARetain + (1 - lossEWMARetain)
+				shift := pr.failures - 1
+				if shift > 4 {
+					shift = 4
+				}
+				pr.backoffUntil = now.Add(p.RequestTimeout << shift)
+				nd.sc.ledger.backoff(nd.ID)
+			}
 			nd.rescore(pr)
-			if pr.failures >= 4 {
+			limit := 4
+			if cong {
+				limit = congestionFailureLimit
+			}
+			if pr.failures >= limit {
 				nd.dropPartner(req.from)
+			}
+		}
+		if cong && id >= nd.play.Next() && !nd.buf.Has(id) {
+			// Retransmit the lost chunk right away (from another partner —
+			// the loser is in backoff) instead of waiting for the shopping
+			// pass to rediscover it.
+			if nd.requestChunk(id, now) {
+				nd.sc.ledger.retransmit(nd.ID)
 			}
 		}
 	}
@@ -948,11 +997,20 @@ func (nd *Node) countHolders(id chunkstream.ChunkID, now sim.Time) int {
 // bestPartner returns the online, non-source partner with the highest
 // request weight, nil when none has positive weight: the first selectable
 // entry of the weight-ordered index. Ties sit in the index lowest-id
-// first, preserving the historical deterministic tie-break.
+// first, preserving the historical deterministic tie-break. Under the
+// congestion model, partners in backoff are skipped.
 func (nd *Node) bestPartner() *partner {
+	cong := nd.net.congestionOn()
+	var now sim.Time
+	if cong {
+		now = nd.sc.eng.Now()
+	}
 	for i := range nd.byReq {
 		en := &nd.byReq[i]
 		if !nd.partnerAlive(en.p) || en.p.node.isSource {
+			continue
+		}
+		if cong && en.p.backoffUntil > now {
 			continue
 		}
 		if en.w > 0 {
@@ -967,8 +1025,17 @@ func (nd *Node) bestPartner() *partner {
 
 // requestChunk picks a partner advertising id (the source counts as always
 // advertising) using the cached request weights and sends the request.
-// Reports whether a request went out.
+// Reports whether a request went out. Under the congestion model, partners
+// in backoff are excluded, and a congestion-aware strategy additionally
+// discounts each candidate by its observed-loss EWMA — the bandwidth-aware
+// weighting that separates "aware" hybrids from agnostic presets in the
+// awareness ablation.
 func (nd *Node) requestChunk(id chunkstream.ChunkID, now sim.Time) bool {
+	cong := nd.net.congestionOn()
+	var aware float64
+	if cong {
+		aware = policy.Awareness(nd.Profile.strategy())
+	}
 	nd.scorer.Reset()
 	nd.reqOrder = nd.reqOrder[:0]
 	for _, en := range nd.byID {
@@ -976,10 +1043,17 @@ func (nd *Node) requestChunk(id chunkstream.ChunkID, now sim.Time) bool {
 		if !nd.partnerAlive(p) {
 			continue
 		}
+		if cong && p.backoffUntil > now {
+			continue
+		}
 		// A client only knows what the partner advertised; the single
 		// exception is the source, which everyone knows holds the feed.
 		if (p.node.isSource && p.node.hasChunk(id, now)) || p.have.Has(id) {
-			nd.scorer.PushScored(policy.Candidate{Index: len(nd.reqOrder), Info: p.info}, p.reqW)
+			w := p.reqW
+			if aware > 0 {
+				w *= policy.LossPenalty(p.lossEWMA, aware)
+			}
+			nd.scorer.PushScored(policy.Candidate{Index: len(nd.reqOrder), Info: p.info}, w)
 			nd.reqOrder = append(nd.reqOrder, p)
 		}
 	}

@@ -127,6 +127,14 @@ type Config struct {
 	// requests instead of queueing them; rejections are what steer
 	// requesters toward fast peers.
 	UplinkBusyCap time.Duration
+	// Congestion bounds each node's uplink transfer queue (tail-drop loss
+	// past the depth) and switches the scheduler's congestion machinery
+	// on: per-partner exponential backoff after timeouts, immediate
+	// retransmit of lost chunks, and the observed-loss EWMA that
+	// congestion-aware strategies fold into partner weighting. The zero
+	// value is the historical unbounded model and leaves the event and
+	// RNG sequence byte-identical.
+	Congestion access.CongestionModel
 	// LeanLedger drops the ledger's per-peer and per-pair maps, keeping
 	// only the swarm-wide scalar totals. Per-peer ground truth grows
 	// O(peers) — and VideoByPair O(peers²) in the worst case — which is
@@ -152,6 +160,9 @@ func (c *Config) validate() {
 	}
 	if c.UplinkBusyCap <= 0 {
 		panic("overlay: non-positive uplink busy cap")
+	}
+	if err := c.Congestion.Validate(); err != nil {
+		panic("overlay: " + err.Error())
 	}
 }
 
@@ -202,6 +213,13 @@ type Ledger struct {
 	ChunksServed       map[PeerID]int64
 	Rejections         map[PeerID]int64
 	Timeouts           map[PeerID]int64
+	// Congestion accounting, by the peer whose uplink queue dropped the
+	// transfer (Drops), whose scheduler re-requested a lost chunk
+	// (Retransmits), or who put a partner into backoff (Backoffs). All
+	// zero under the default unbounded congestion model.
+	Drops       map[PeerID]int64
+	Retransmits map[PeerID]int64
+	Backoffs    map[PeerID]int64
 
 	// Swarm-wide totals mirroring the sums of the maps above, maintained
 	// in both modes so lean runs still report aggregate health.
@@ -209,6 +227,9 @@ type Ledger struct {
 	ChunksServedTotal int64
 	RejectionsTotal   int64
 	TimeoutsTotal     int64
+	DropsTotal        int64
+	RetransmitsTotal  int64
+	BackoffsTotal     int64
 
 	// Running swarm-wide video totals, split by whether the transfer stayed
 	// inside one AS. Time-series samplers difference these between buckets
@@ -258,6 +279,9 @@ func newLedger(lean bool) *Ledger {
 		ChunksServed:   make(map[PeerID]int64),
 		Rejections:     make(map[PeerID]int64),
 		Timeouts:       make(map[PeerID]int64),
+		Drops:          make(map[PeerID]int64),
+		Retransmits:    make(map[PeerID]int64),
+		Backoffs:       make(map[PeerID]int64),
 		VideoRxByAS:    make(map[topology.ASN]int64),
 		VideoIntraByAS: make(map[topology.ASN]int64),
 	}
@@ -307,6 +331,27 @@ func (l *Ledger) timeout(id PeerID) {
 		l.Timeouts[id]++
 	}
 	l.TimeoutsTotal++
+}
+
+func (l *Ledger) drop(id PeerID) {
+	if !l.lean {
+		l.Drops[id]++
+	}
+	l.DropsTotal++
+}
+
+func (l *Ledger) retransmit(id PeerID) {
+	if !l.lean {
+		l.Retransmits[id]++
+	}
+	l.RetransmitsTotal++
+}
+
+func (l *Ledger) backoff(id PeerID) {
+	if !l.lean {
+		l.Backoffs[id]++
+	}
+	l.BackoffsTotal++
 }
 
 // shardCtx is the execution context of one shard: its engine (clock + RNG
@@ -443,11 +488,17 @@ func (l *Ledger) merge(src *Ledger) {
 		mergePeer(l.ChunksServed, src.ChunksServed)
 		mergePeer(l.Rejections, src.Rejections)
 		mergePeer(l.Timeouts, src.Timeouts)
+		mergePeer(l.Drops, src.Drops)
+		mergePeer(l.Retransmits, src.Retransmits)
+		mergePeer(l.Backoffs, src.Backoffs)
 	}
 	l.SignalTotal += src.SignalTotal
 	l.ChunksServedTotal += src.ChunksServedTotal
 	l.RejectionsTotal += src.RejectionsTotal
 	l.TimeoutsTotal += src.TimeoutsTotal
+	l.DropsTotal += src.DropsTotal
+	l.RetransmitsTotal += src.RetransmitsTotal
+	l.BackoffsTotal += src.BackoffsTotal
 	l.VideoTotal += src.VideoTotal
 	l.VideoIntraAS += src.VideoIntraAS
 	for as, v := range src.VideoRxByAS {
@@ -518,9 +569,21 @@ func (n *Network) AddNode(host topology.Host, link access.Link, prof *Profile) *
 		inflight: make(map[chunkstream.ChunkID]pendingReq),
 		onlineAt: -1,
 	}
+	// Only the uplink carries the bound: the pull protocol serializes video
+	// through the responder's uplink port, so that is where a congested
+	// queue drops chunks.
+	if d := n.Cfg.Congestion.QueueDepth; d > 0 {
+		node.up.SetQueueLimit(d)
+	}
 	n.nodes = append(n.nodes, node)
 	return node
 }
+
+// congestionOn reports whether the bounded-queue congestion machinery —
+// tail-drop loss, backoff, retransmit, loss EWMA — is active. Every new
+// congestion code path gates on it so the default model stays
+// byte-identical.
+func (n *Network) congestionOn() bool { return n.Cfg.Congestion.Enabled() }
 
 // AddSource creates the stream origin: a node that natively holds every
 // chunk the calendar has produced and never pulls. Only one source is

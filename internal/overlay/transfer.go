@@ -119,7 +119,15 @@ func (nd *Node) serveChunk(requester *Node, id chunkstream.ChunkID) {
 	}
 
 	chunkSize := net.Cfg.Calendar.ChunkSize()
-	start, _ := nd.up.Reserve(now, chunkSize)
+	// With a bounded queue the reservation can tail-drop: the chunk is
+	// silently lost and the requester discovers it through its request
+	// timeout, exactly how a dropped TCP-less transfer surfaces in the
+	// wild. Without a queue limit TryReserve is Reserve.
+	start, _, ok := nd.up.TryReserve(now, chunkSize)
+	if !ok {
+		sc.ledger.drop(nd.ID)
+		return
+	}
 	sizes := access.PacketizeInto(sc.trainSizes, chunkSize)
 	sc.trainSizes = sizes
 	owd := net.Topo.OneWayDelay(nd.Host, requester.Host)
@@ -234,6 +242,12 @@ func (nd *Node) onChunkDelivered(from PeerID, id chunkstream.ChunkID, size units
 	}
 	if p, ok := nd.partners[from]; ok {
 		p.failures = 0
+		if nd.net.congestionOn() {
+			// A successful delivery decays the observed-loss estimate and
+			// lifts any standing backoff: the partner is reachable again.
+			p.lossEWMA *= lossEWMARetain
+			p.backoffUntil = 0
+		}
 		var sample units.BitRate
 		if burst > 0 {
 			sample = units.RateOf(size, burst)

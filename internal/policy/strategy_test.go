@@ -1,6 +1,7 @@
 package policy
 
 import (
+	"math"
 	"math/rand"
 	"reflect"
 	"testing"
@@ -140,5 +141,175 @@ func TestStrategyRegistry(t *testing.T) {
 	}
 	if _, err := StrategyByName("newest"); err == nil {
 		t.Error("unknown strategy accepted")
+	}
+}
+
+func TestParseHybrid(t *testing.T) {
+	good := []struct {
+		name string
+		want Hybrid
+	}{
+		{"hybrid", Hybrid{}},
+		{"hybrid:u=0.4", Hybrid{UrgentFrac: 0.4}},
+		{"hybrid:u=0.4,r=1,d=-0.5,a=2", Hybrid{UrgentFrac: 0.4, RarestWeight: 1, DeadlineBias: -0.5, AwareWeight: 2}},
+		{"hybrid:d=1", Hybrid{DeadlineBias: 1}},
+	}
+	for _, c := range good {
+		h, err := ParseHybrid(c.name)
+		if err != nil {
+			t.Errorf("ParseHybrid(%q): %v", c.name, err)
+			continue
+		}
+		if h != c.want {
+			t.Errorf("ParseHybrid(%q) = %+v, want %+v", c.name, h, c.want)
+		}
+		// Canonical name round-trips through the parser.
+		back, err := ParseHybrid(h.Name())
+		if err != nil || back != h {
+			t.Errorf("round-trip %q -> %q -> %+v (%v)", c.name, h.Name(), back, err)
+		}
+	}
+	bad := []string{
+		"hybrid:",        // empty parameter list
+		"hybrid:u",       // missing value
+		"hybrid:u=",      // empty value
+		"hybrid:=1",      // empty key
+		"hybrid:x=1",     // unknown key
+		"hybrid:u=2",     // urgent fraction out of [0,1]
+		"hybrid:u=-0.1",  // urgent fraction out of [0,1]
+		"hybrid:r=-1",    // negative rarest weight
+		"hybrid:a=-1",    // negative awareness
+		"hybrid:d=NaN",   // non-finite
+		"hybrid:d=+Inf",  // non-finite
+		"hybrid:u=x",     // unparseable value
+		"hybrid:u=1,u=1", // duplicate key
+		"hybridx",        // junk after the family name
+		"rarest",         // not a hybrid name at all
+	}
+	for _, name := range bad {
+		if _, err := ParseHybrid(name); err == nil {
+			t.Errorf("ParseHybrid(%q) accepted", name)
+		}
+	}
+}
+
+// TestHybridSubsumesPresets pins the family-coverage claim: the four
+// documented members reproduce the registered presets byte-for-byte on the
+// same input, consuming identical RNG draws.
+func TestHybridSubsumesPresets(t *testing.T) {
+	pairs := []struct {
+		member Hybrid
+		preset ChunkStrategy
+	}{
+		{Hybrid{UrgentFrac: 1}, UrgentRandom{}},
+		{Hybrid{DeadlineBias: 1}, DeadlineFirst{}},
+		{Hybrid{DeadlineBias: -1}, LatestUseful{}},
+		{Hybrid{RarestWeight: 1}, RarestFirst{}},
+	}
+	for _, p := range pairs {
+		a, b := refsFixture(), refsFixture()
+		ra, rb := rand.New(rand.NewSource(11)), rand.New(rand.NewSource(11))
+		p.member.Order(ra, a)
+		p.preset.Order(rb, b)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s vs %s: orders differ: %v vs %v", p.member.Name(), p.preset.Name(), ids(a), ids(b))
+		}
+		if ra.Int63() != rb.Int63() {
+			t.Errorf("%s vs %s: RNG draw counts differ", p.member.Name(), p.preset.Name())
+		}
+		if p.member.NeedHolders() != p.preset.NeedHolders() {
+			t.Errorf("%s vs %s: NeedHolders differ", p.member.Name(), p.preset.Name())
+		}
+	}
+}
+
+// TestStrategyFamilyDeterministic is the determinism contract over the
+// whole strategy space, registered and parameterized: same input and RNG
+// state → same order and same draw count, and NeedHolders=false strategies
+// must be blind to Holders (the scheduler skips counting them).
+func TestStrategyFamilyDeterministic(t *testing.T) {
+	names := append(StrategyNames(),
+		"hybrid", "hybrid:u=0.4", "hybrid:u=0.4,r=1", "hybrid:u=0.4,r=1,a=1",
+		"hybrid:d=-1", "hybrid:u=0.3,d=0.7", "hybrid:r=2,d=0.25,a=0.5")
+	for _, name := range names {
+		s, err := StrategyByName(name)
+		if err != nil {
+			t.Fatalf("StrategyByName(%q): %v", name, err)
+		}
+		a, b := refsFixture(), refsFixture()
+		ra, rb := rand.New(rand.NewSource(42)), rand.New(rand.NewSource(42))
+		s.Order(ra, a)
+		s.Order(rb, b)
+		if !reflect.DeepEqual(a, b) {
+			t.Errorf("%s: same seed, different order: %v vs %v", name, ids(a), ids(b))
+		}
+		if ra.Int63() != rb.Int63() {
+			t.Errorf("%s: same seed, different draw count", name)
+		}
+		if !s.NeedHolders() {
+			// Zeroing every holder count must not change the order: a
+			// strategy that declares itself holder-blind and then reads
+			// Holders would silently break the scheduler's skip.
+			c := refsFixture()
+			for i := range c {
+				c[i].Holders = 0
+			}
+			s.Order(rand.New(rand.NewSource(42)), c)
+			if !reflect.DeepEqual(ids(a), ids(c)) {
+				t.Errorf("%s: NeedHolders=false but order depends on Holders: %v vs %v", name, ids(a), ids(c))
+			}
+		}
+	}
+}
+
+func TestStrategyByNameHybrid(t *testing.T) {
+	s, err := StrategyByName("hybrid:u=0.4,r=1,a=1")
+	if err != nil {
+		t.Fatalf("StrategyByName: %v", err)
+	}
+	h, ok := s.(Hybrid)
+	if !ok {
+		t.Fatalf("StrategyByName returned %T, want Hybrid", s)
+	}
+	if h != (Hybrid{UrgentFrac: 0.4, RarestWeight: 1, AwareWeight: 1}) {
+		t.Errorf("parsed member = %+v", h)
+	}
+	if got := Awareness(s); got != 1 {
+		t.Errorf("Awareness = %v, want 1", got)
+	}
+	for _, name := range StrategyNames() {
+		p, _ := StrategyByName(name)
+		if Awareness(p) != 0 {
+			t.Errorf("preset %s reports awareness", name)
+		}
+	}
+	if desc := StrategyDescription("hybrid:u=0.4,r=1,a=1"); desc == "" {
+		t.Error("valid hybrid has no description")
+	}
+	if desc := StrategyDescription("hybrid:x=1"); desc != "" {
+		t.Errorf("invalid hybrid has description %q", desc)
+	}
+	if _, err := StrategyByName("hybrid:x=1"); err == nil {
+		t.Error("bad hybrid name accepted")
+	}
+}
+
+func TestLossPenalty(t *testing.T) {
+	if got := LossPenalty(0.5, 0); got != 1 {
+		t.Errorf("agnostic penalty = %v, want 1", got)
+	}
+	if got := LossPenalty(0, 1); got != 1 {
+		t.Errorf("lossless penalty = %v, want 1", got)
+	}
+	if got := LossPenalty(0.5, 1); got != 0.25 {
+		t.Errorf("LossPenalty(0.5,1) = %v, want 0.25", got)
+	}
+	// The floor keeps a fully lossy partner re-probeable.
+	if got, want := LossPenalty(1, 1), 0.05*0.05; math.Abs(got-want) > 1e-12 {
+		t.Errorf("floored penalty = %v, want %v", got, want)
+	}
+	// Higher awareness discounts harder.
+	if LossPenalty(0.3, 2) >= LossPenalty(0.3, 1) {
+		t.Error("awareness 2 should discount more than awareness 1")
 	}
 }

@@ -16,6 +16,7 @@ var registry = []struct {
 }{
 	{"strategy-comparison", strategyComparison},
 	{"blind-ablation", blindAblation},
+	{"awareness-ablation", awarenessAblation},
 }
 
 // Names lists the registered studies in presentation order.
@@ -73,5 +74,29 @@ func blindAblation() Study {
 		BaseSeed: 1,
 		Duration: Duration(2 * time.Minute),
 		Metrics:  []string{"continuity", "as-awareness", "source-share"},
+	}
+}
+
+// awarenessAblation crosses congestion-agnostic schedulers against their
+// congestion-aware hybrid counterparts, with and without bounded uplink
+// queues — the Mathieu–Perino question (do resource-aware algorithms win?)
+// asked under the Efthymiopoulos condition (only once congestion exists).
+// The two hybrid members differ only in the awareness term, so any gap
+// between them under q=2 is the value of reacting to loss, nothing else.
+func awarenessAblation() Study {
+	return Study{
+		Name:        "awareness-ablation",
+		Description: "congestion-agnostic vs loss-aware scheduling, unbounded vs bounded uplink queues",
+		Apps:        []string{"TVAnts"},
+		Strategies: []string{
+			"urgent-random",
+			"hybrid:u=0.4,r=1",
+			"hybrid:u=0.4,r=1,a=1",
+		},
+		QueueDepths: []int{0, 2},
+		Trials:      3,
+		BaseSeed:    1,
+		Duration:    Duration(2 * time.Minute),
+		Metrics:     []string{"continuity", "diffusion-delay", "loss-pct", "retransmits"},
 	}
 }

@@ -18,11 +18,12 @@ type RunInfo struct {
 	// grid size.
 	Index, Total int
 
-	App      string
-	Strategy string // "" = the profile's own
-	Scenario string // "" = stationary
-	Variant  string // "" = stock profile
-	Seed     int64
+	App        string
+	Strategy   string // "" = the profile's own
+	Scenario   string // "" = stationary
+	Variant    string // "" = stock profile
+	QueueDepth int    // 0 = unbounded uplink queues (congestion off)
+	Seed       int64
 }
 
 // info is the one place a cell becomes a RunInfo, so Run's callbacks and
@@ -31,7 +32,7 @@ func (c cell) info(total int) RunInfo {
 	return RunInfo{
 		Index: c.index, Total: total,
 		App: c.app, Strategy: c.strategy, Scenario: c.scnLabel,
-		Variant: c.varName, Seed: c.seed,
+		Variant: c.varName, QueueDepth: c.depth, Seed: c.seed,
 	}
 }
 
@@ -62,6 +63,9 @@ func (r RunInfo) Label() string {
 	}
 	if r.Scenario != "" {
 		s += " @" + r.Scenario
+	}
+	if r.QueueDepth > 0 {
+		s += " " + congestionLabel(r.QueueDepth)
 	}
 	return fmt.Sprintf("%s seed %d", s, r.Seed)
 }
@@ -144,11 +148,12 @@ type Cell struct {
 	// Index is the cell's position in grid order.
 	Index int
 
-	App      string
-	Strategy string // "" = the profile's own
-	Scenario string // "" = stationary
-	Variant  string // "" = stock profile
-	Seed     int64
+	App        string
+	Strategy   string // "" = the profile's own
+	Scenario   string // "" = stationary
+	Variant    string // "" = stock profile
+	QueueDepth int    // 0 = unbounded uplink queues (congestion off)
+	Seed       int64
 
 	// Done reports whether the cell actually ran; cancellation leaves
 	// trailing cells un-run with a zero Summary.
@@ -157,10 +162,11 @@ type Cell struct {
 }
 
 // Coord reads the cell's coordinate along one axis, as rendered in tables
-// (seed as digits, empty coordinates as "default"/"stationary"/"stock").
+// (seed as digits, empty coordinates as "default"/"stationary"/"stock",
+// queue depth 0 as "off").
 func (c Cell) Coord(ax Axis) string {
 	return cell{app: c.App, strategy: c.Strategy, scnLabel: c.Scenario,
-		varName: c.Variant, seed: c.Seed}.coord(ax)
+		varName: c.Variant, depth: c.QueueDepth, seed: c.Seed}.coord(ax)
 }
 
 // Result is everything a study run produces: one Cell per grid point, in
@@ -271,7 +277,7 @@ func Run(ctx context.Context, st *Study, opts ...Option) (*Result, error) {
 		res.Cells[i] = Cell{
 			Index: c.index,
 			App:   c.app, Strategy: c.strategy, Scenario: c.scnLabel,
-			Variant: c.varName, Seed: c.seed,
+			Variant: c.varName, QueueDepth: c.depth, Seed: c.seed,
 			Done: outs[i].done, Summary: outs[i].sum,
 		}
 		if o.keepFull {

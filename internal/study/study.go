@@ -22,6 +22,7 @@ import (
 	"strconv"
 	"time"
 
+	"napawine/internal/access"
 	"napawine/internal/apps"
 	"napawine/internal/experiment"
 	"napawine/internal/overlay"
@@ -138,6 +139,15 @@ type Study struct {
 	// PeerFactor scaling). Setting both is rejected — two sizings for one
 	// world would silently run whichever won.
 	Peers int `json:"peers,omitempty"`
+	// QueueDepths lists the congestion axis: uplink queue depths to cross
+	// with the other axes, 0 meaning the unbounded (congestion-off)
+	// default. QueueDepth pins a single depth for the whole study instead;
+	// setting both is rejected. LossMode selects the loss discipline for
+	// bounded cells ("" = tail-drop).
+	QueueDepths []int  `json:"queue_depths,omitempty"`
+	QueueDepth  int    `json:"queue_depth,omitempty"`
+	LossMode    string `json:"loss_mode,omitempty"`
+
 	// LeanLedger forces the O(1)-memory ledger regardless of world size
 	// (it switches on automatically at experiment.LeanLedgerAutoPeers).
 	LeanLedger bool `json:"lean_ledger,omitempty"`
@@ -186,6 +196,15 @@ func (st *Study) VariantList() []Variant {
 	return []Variant{{}}
 }
 
+// QueueDepthList resolves the congestion axis: the listed depths, a pinned
+// single depth, or the unbounded default.
+func (st *Study) QueueDepthList() []int {
+	if len(st.QueueDepths) > 0 {
+		return st.QueueDepths
+	}
+	return []int{st.QueueDepth}
+}
+
 // SeedList resolves the seed axis (sweep.Spec shares this convention).
 func (st *Study) SeedList() []int64 {
 	if len(st.Seeds) > 0 {
@@ -205,7 +224,7 @@ func (st *Study) SeedList() []int64 {
 // Runs reports the grid size: one experiment per cell.
 func (st *Study) Runs() int {
 	return len(st.AppList()) * len(st.StrategyList()) * len(st.ScenarioList()) *
-		len(st.VariantList()) * len(st.SeedList())
+		len(st.VariantList()) * len(st.QueueDepthList()) * len(st.SeedList())
 }
 
 // Validate checks every axis value against its registry and rejects
@@ -229,6 +248,32 @@ func (st *Study) Validate() error {
 	}
 	if st.Shards < 0 {
 		return fmt.Errorf("study %s: negative shards %d", st.Name, st.Shards)
+	}
+	// Like seeds vs trials, a pinned depth and a depth axis are two
+	// authorings of one dimension: reject the ambiguity.
+	if st.QueueDepth != 0 && len(st.QueueDepths) > 0 {
+		return fmt.Errorf("study %s: queue_depth and queue_depths are mutually exclusive", st.Name)
+	}
+	bounded := false
+	seenDepth := map[int]bool{}
+	for _, depth := range st.QueueDepthList() {
+		if seenDepth[depth] {
+			return fmt.Errorf("study %s: duplicate queue depth %d", st.Name, depth)
+		}
+		seenDepth[depth] = true
+		if depth > 0 {
+			bounded = true
+		}
+		m := access.CongestionModel{QueueDepth: depth}
+		if depth > 0 {
+			m.LossMode = st.LossMode
+		}
+		if err := m.Validate(); err != nil {
+			return fmt.Errorf("study %s: %w", st.Name, err)
+		}
+	}
+	if st.LossMode != "" && !bounded {
+		return fmt.Errorf("study %s: loss_mode %q without a bounded queue depth", st.Name, st.LossMode)
 	}
 	seenApp := map[string]bool{}
 	for _, app := range st.AppList() {
@@ -306,18 +351,21 @@ func (st *Study) Validate() error {
 // Axis names one grid dimension for pivots and coordinate lookups.
 type Axis string
 
-// The five grid axes.
+// The six grid axes.
 const (
-	AxisApp      Axis = "app"
-	AxisStrategy Axis = "strategy"
-	AxisScenario Axis = "scenario"
-	AxisVariant  Axis = "variant"
-	AxisSeed     Axis = "seed"
+	AxisApp        Axis = "app"
+	AxisStrategy   Axis = "strategy"
+	AxisScenario   Axis = "scenario"
+	AxisVariant    Axis = "variant"
+	AxisCongestion Axis = "congestion"
+	AxisSeed       Axis = "seed"
 )
 
 // Axes lists the grid axes in nesting order (outermost first), which is
 // also cell order in a Result.
-func Axes() []Axis { return []Axis{AxisApp, AxisStrategy, AxisScenario, AxisVariant, AxisSeed} }
+func Axes() []Axis {
+	return []Axis{AxisApp, AxisStrategy, AxisScenario, AxisVariant, AxisCongestion, AxisSeed}
+}
 
 // cell is one resolved grid point, ready to configure an experiment.
 type cell struct {
@@ -326,6 +374,7 @@ type cell struct {
 	strategy string
 	scnLabel string
 	varName  string
+	depth    int
 	seed     int64
 
 	scn     *scenario.Spec // resolved; nil = stationary
@@ -333,10 +382,10 @@ type cell struct {
 }
 
 // resolveGrid validates the study and expands it into cells in axis nesting
-// order: app (outermost) → strategy → scenario → variant → seed. Scenario
-// specs are resolved once and shared across cells; experiment.Run clones
-// its spec on entry, so the sharing can never leak between parallel runs or
-// back into the caller.
+// order: app (outermost) → strategy → scenario → variant → congestion →
+// seed. Scenario specs are resolved once and shared across cells;
+// experiment.Run clones its spec on entry, so the sharing can never leak
+// between parallel runs or back into the caller.
 func (st *Study) resolveGrid() ([]cell, error) {
 	if err := st.Validate(); err != nil {
 		return nil, err
@@ -357,17 +406,20 @@ func (st *Study) resolveGrid() ([]cell, error) {
 		for _, strat := range st.StrategyList() {
 			for i, scn := range scns {
 				for _, vr := range st.VariantList() {
-					for _, seed := range st.SeedList() {
-						cells = append(cells, cell{
-							index:    len(cells),
-							app:      app,
-							strategy: strat,
-							scnLabel: scn.Label(),
-							varName:  vr.Name,
-							seed:     seed,
-							scn:      specs[i],
-							variant:  vr,
-						})
+					for _, depth := range st.QueueDepthList() {
+						for _, seed := range st.SeedList() {
+							cells = append(cells, cell{
+								index:    len(cells),
+								app:      app,
+								strategy: strat,
+								scnLabel: scn.Label(),
+								varName:  vr.Name,
+								depth:    depth,
+								seed:     seed,
+								scn:      specs[i],
+								variant:  vr,
+							})
+						}
 					}
 				}
 			}
@@ -398,6 +450,9 @@ func (c cell) config(st *Study) (experiment.Config, error) {
 	cfg.Shards = st.Shards
 	cfg.Scenario = c.scn
 	cfg.Strategy = c.strategy
+	if c.depth > 0 {
+		cfg.Congestion = access.CongestionModel{QueueDepth: c.depth, LossMode: st.LossMode}
+	}
 	if c.variant.Blind || c.variant.Mutate != nil {
 		base, err := apps.ByName(c.app)
 		if err != nil {
@@ -428,10 +483,21 @@ func (c cell) coord(ax Axis) string {
 		return scenarioLabel(c.scnLabel)
 	case AxisVariant:
 		return variantLabel(c.varName)
+	case AxisCongestion:
+		return congestionLabel(c.depth)
 	case AxisSeed:
 		return strconv.FormatInt(c.seed, 10)
 	}
 	return ""
+}
+
+// congestionLabel renders the congestion coordinate; depth 0 is the
+// unbounded (congestion-off) default.
+func congestionLabel(depth int) string {
+	if depth <= 0 {
+		return "off"
+	}
+	return "q=" + strconv.Itoa(depth)
 }
 
 // strategyLabel renders the strategy coordinate; "" is each profile's own

@@ -239,3 +239,71 @@ func TestMetricRegistry(t *testing.T) {
 		t.Errorf("DefaultMetrics = %d metrics, want 4", got)
 	}
 }
+
+func TestStudyCongestionAxis(t *testing.T) {
+	st := &Study{
+		Name:        "cong",
+		Apps:        []string{"TVAnts"},
+		QueueDepths: []int{0, 2},
+		LossMode:    "tail-drop",
+		Seeds:       []int64{7},
+	}
+	if err := st.Validate(); err != nil {
+		t.Fatalf("Validate: %v", err)
+	}
+	if got := st.Runs(); got != 2 {
+		t.Errorf("Runs = %d, want 2", got)
+	}
+	cells, err := st.resolveGrid()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(cells) != 2 || cells[0].depth != 0 || cells[1].depth != 2 {
+		t.Fatalf("congestion grid = %+v", cells)
+	}
+	// The off cell must carry a zero model — loss mode only rides along
+	// with a bounded depth, or the config itself would fail validation.
+	off, err := cells[0].config(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if off.Congestion.Enabled() || off.Congestion.LossMode != "" {
+		t.Errorf("off cell congestion = %+v", off.Congestion)
+	}
+	on, err := cells[1].config(st)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if on.Congestion.QueueDepth != 2 || on.Congestion.LossMode != "tail-drop" {
+		t.Errorf("bounded cell congestion = %+v", on.Congestion)
+	}
+
+	c := Cell{App: "TVAnts", Seed: 7}
+	if got := c.Coord(AxisCongestion); got != "off" {
+		t.Errorf("Coord(congestion) = %q, want off", got)
+	}
+	c.QueueDepth = 2
+	if got := c.Coord(AxisCongestion); got != "q=2" {
+		t.Errorf("Coord(congestion) = %q, want q=2", got)
+	}
+}
+
+func TestStudyCongestionValidateRejects(t *testing.T) {
+	for _, tc := range []struct {
+		name string
+		st   Study
+		want string
+	}{
+		{"both forms", Study{Name: "s", QueueDepth: 2, QueueDepths: []int{0, 2}}, "mutually exclusive"},
+		{"negative depth", Study{Name: "s", QueueDepth: -1}, "queue depth"},
+		{"negative level", Study{Name: "s", QueueDepths: []int{0, -2}}, "queue depth"},
+		{"dup level", Study{Name: "s", QueueDepths: []int{2, 2}}, "duplicate queue depth"},
+		{"bad loss mode", Study{Name: "s", QueueDepth: 2, LossMode: "red"}, "red"},
+		{"mode without depth", Study{Name: "s", LossMode: "tail-drop"}, "loss_mode"},
+	} {
+		err := tc.st.Validate()
+		if err == nil || !strings.Contains(err.Error(), tc.want) {
+			t.Errorf("%s: Validate() = %v, want error containing %q", tc.name, err, tc.want)
+		}
+	}
+}

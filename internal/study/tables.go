@@ -46,6 +46,19 @@ var metrics = []Metric{
 	}},
 	{"events", "Events", 0,
 		func(s experiment.Summary) (float64, bool) { return float64(s.Events), true }},
+	// Congestion metrics ride at the registry tail so DefaultMetrics — a
+	// positional slice — keeps meaning what it always has. Loss is
+	// measurable once anything was offered to the bounded queues; raw drop
+	// and retransmit counts are measurable in every run (they are honestly
+	// zero with congestion off).
+	{"loss-pct", "Loss%", 2,
+		func(s experiment.Summary) (float64, bool) { return s.LossPct, s.ChunksServed+s.Drops > 0 }},
+	{"drops", "Drops", 0,
+		func(s experiment.Summary) (float64, bool) { return float64(s.Drops), true }},
+	{"retransmits", "Retx", 0,
+		func(s experiment.Summary) (float64, bool) { return float64(s.Retransmits), true }},
+	{"backoffs", "Backoffs", 0,
+		func(s experiment.Summary) (float64, bool) { return float64(s.Backoffs), true }},
 }
 
 // Metrics lists the registered metrics in presentation order.

@@ -88,6 +88,11 @@ type Spec struct {
 	// latest-useful / rarest / deadline scheduling comparisons are
 	// replicated across seeds.
 	Strategy string
+
+	// QueueDepth bounds every peer's uplink queue for every run of the
+	// battery (tail-drop loss beyond it); 0 keeps the unbounded
+	// congestion-off default.
+	QueueDepth int
 }
 
 // seeds resolves the trial seed list.
@@ -153,6 +158,7 @@ func (s Spec) Study() *study.Study {
 		Duration:   study.Duration(s.Duration),
 		PeerFactor: s.PeerFactor,
 		Peers:      s.Peers,
+		QueueDepth: s.QueueDepth,
 		LeanLedger: s.LeanLedger,
 		Shards:     s.Shards,
 	}

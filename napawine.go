@@ -24,6 +24,7 @@ import (
 	"io"
 	"time"
 
+	"napawine/internal/access"
 	"napawine/internal/apps"
 	"napawine/internal/core"
 	"napawine/internal/experiment"
@@ -78,6 +79,12 @@ type (
 	RarestFirst = policy.RarestFirst
 	// DeadlineFirst requests strictly oldest-first.
 	DeadlineFirst = policy.DeadlineFirst
+	// Hybrid is the parameterized strategy family subsuming the presets,
+	// expressible as "hybrid:u=0.3,r=0.5" names (see HybridGrammar).
+	Hybrid = policy.Hybrid
+	// CongestionModel bounds every peer's uplink queue (see
+	// Config.Congestion and Scale.QueueDepth).
+	CongestionModel = access.CongestionModel
 	// Weight scores peer-selection candidates.
 	Weight = policy.Weight
 	// Uniform is location- and bandwidth-blind selection.
@@ -149,10 +156,15 @@ type Scale struct {
 	// file-authored spec from LoadScenarioFile — and takes precedence over
 	// Scenario. The battery never mutates it; every run gets a deep copy.
 	ScenarioSpec *ScenarioSpec
-	// Strategy names a registered chunk-scheduling strategy applied to
-	// every run ("" = each profile's own, i.e. urgent-random). See
-	// StrategyNames.
+	// Strategy names a chunk-scheduling strategy applied to every run:
+	// a registered name (see StrategyNames) or a parameterized hybrid
+	// member (see HybridGrammar). "" = each profile's own, i.e.
+	// urgent-random.
 	Strategy string
+	// QueueDepth bounds every peer's uplink queue (tail-drop loss beyond
+	// it) and switches the overlay to its congestion-signal path; 0 keeps
+	// the unbounded congestion-off default.
+	QueueDepth int
 	// Apps restricts the battery to these applications (nil = all three).
 	// Restricting here skips the unwanted simulations entirely instead of
 	// filtering their results afterwards. Results come back in the paper's
@@ -175,6 +187,7 @@ func (s Scale) Battery() *Study {
 		Duration:   StudyDuration(s.Duration),
 		PeerFactor: s.PeerFactor,
 		Peers:      s.Peers,
+		QueueDepth: s.QueueDepth,
 		LeanLedger: s.LeanLedger,
 		Shards:     s.Shards,
 	}
@@ -258,13 +271,14 @@ type (
 	StudyOption = study.Option
 )
 
-// The five study grid axes.
+// The six study grid axes.
 const (
-	AxisApp      = study.AxisApp
-	AxisStrategy = study.AxisStrategy
-	AxisScenario = study.AxisScenario
-	AxisVariant  = study.AxisVariant
-	AxisSeed     = study.AxisSeed
+	AxisApp        = study.AxisApp
+	AxisStrategy   = study.AxisStrategy
+	AxisScenario   = study.AxisScenario
+	AxisVariant    = study.AxisVariant
+	AxisCongestion = study.AxisCongestion
+	AxisSeed       = study.AxisSeed
 )
 
 // RunStudy executes a declarative study under a context: one experiment
@@ -361,13 +375,20 @@ func EncodeScenario(w io.Writer, s *ScenarioSpec) error { return scenario.Encode
 // first.
 func StrategyNames() []string { return policy.StrategyNames() }
 
-// StrategyByName resolves a registered chunk-scheduling strategy; ""
-// selects the default (urgent-random).
+// StrategyByName resolves a chunk-scheduling strategy: a registered name,
+// a parameterized hybrid member ("hybrid:u=0.3,r=0.5", see HybridGrammar),
+// or "" for the default (urgent-random).
 func StrategyByName(name string) (ChunkStrategy, error) { return policy.StrategyByName(name) }
 
-// StrategyDescription returns the one-line description of a registered
-// strategy ("" when unknown).
+// StrategyDescription returns the one-line description of a registered or
+// parameterized strategy ("" when unknown).
 func StrategyDescription(name string) string { return policy.StrategyDescription(name) }
+
+// HybridGrammar documents the parameterized hybrid strategy name syntax.
+const HybridGrammar = policy.HybridGrammar
+
+// ParseHybrid parses a "hybrid[:k=v,...]" strategy name into its member.
+func ParseHybrid(name string) (Hybrid, error) { return policy.ParseHybrid(name) }
 
 // ScenarioByName returns a fresh copy of a registered workload scenario.
 func ScenarioByName(name string) (*ScenarioSpec, error) { return scenario.ByName(name) }
