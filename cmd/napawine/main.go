@@ -20,6 +20,9 @@
 //	napawine -out tables.txt             # write tables to a file, not stdout
 //	napawine -http localhost:8080        # live dashboard while the run executes
 //	napawine -svg-out charts/            # write SVG chart artifacts
+//	napawine -study X -listen :9000      # coordinate a distributed fleet
+//	napawine -join host:9000             # join a fleet as a worker
+//	napawine -study X -listen :0 -resume spool/  # checkpoint cells; restart resumes
 //
 // Deterministic: the same -seed regenerates identical tables; the same
 // -seed/-seeds pair regenerates identical sweep and study tables — scenario
@@ -28,18 +31,21 @@ package main
 
 import (
 	"context"
+	"errors"
 	"flag"
 	"fmt"
 	"io"
 	"os"
 	"runtime"
 	"runtime/pprof"
+	"sort"
 	"strings"
 	"sync"
 	"time"
 
 	"napawine"
 	"napawine/internal/dash"
+	"napawine/internal/fleet"
 	"napawine/internal/plot"
 	"napawine/internal/report"
 	"napawine/internal/world"
@@ -117,6 +123,57 @@ func validateStudyArgs(studyName, studyFile string, explicit map[string]bool) er
 	for _, f := range []string{"exp", "scenario", "scenario-file", "strategy"} {
 		if explicit[f] {
 			return fmt.Errorf("-%s does not apply to a study run (the study defines its own axes)", f)
+		}
+	}
+	return nil
+}
+
+// fleetJoinFlags are the only flags a -join worker may set: everything else
+// about the run — the study, its axes, shards, durations — comes from the
+// coordinator, and a locally-set knob would be silently ignored.
+var fleetJoinFlags = []string{"join", "workers", "cpuprofile", "memprofile"}
+
+// validateFleetArgs rejects flag combinations that contradict a fleet run.
+// A coordinator (-listen) needs a study to serve and takes no -workers (it
+// runs no cells itself); a worker (-join) takes nothing but its concurrency
+// budget and profiles; -resume and -lease-ttl only mean anything to a
+// coordinator.
+func validateFleetArgs(listen, join string, leaseTTL time.Duration, explicit map[string]bool) error {
+	if listen != "" && join != "" {
+		return fmt.Errorf("-listen and -join are mutually exclusive (a process is a coordinator or a worker, not both)")
+	}
+	if listen == "" {
+		for _, f := range []string{"resume", "lease-ttl"} {
+			if explicit[f] {
+				return fmt.Errorf("-%s requires -listen (it configures the fleet coordinator)", f)
+			}
+		}
+	} else {
+		if !explicit["study"] && !explicit["study-file"] {
+			return fmt.Errorf("-listen requires -study or -study-file (the coordinator serves a study grid)")
+		}
+		if explicit["workers"] {
+			return fmt.Errorf("-workers does not apply to -listen (the coordinator runs no cells; each -join worker sets its own)")
+		}
+		if leaseTTL <= 0 {
+			return fmt.Errorf("non-positive -lease-ttl %v", leaseTTL)
+		}
+	}
+	if join != "" {
+		allowed := map[string]bool{}
+		for _, f := range fleetJoinFlags {
+			allowed[f] = true
+		}
+		var bad []string
+		for f := range explicit {
+			if !allowed[f] {
+				bad = append(bad, "-"+f)
+			}
+		}
+		if len(bad) > 0 {
+			sort.Strings(bad)
+			return fmt.Errorf("%s does not apply to -join (the worker takes its study and settings from the coordinator)",
+				strings.Join(bad, ", "))
 		}
 	}
 	return nil
@@ -206,6 +263,10 @@ func main() {
 		httpAddr  = flag.String("http", "", "serve a live dashboard on this address while the run executes (port 0 picks a free one; see README: watching a study live)")
 		httpWait  = flag.Duration("http-linger", 0, "keep the -http dashboard serving this long after the run finishes")
 		svgOut    = flag.String("svg-out", "", "write SVG chart artifacts into this directory")
+		listen    = flag.String("listen", "", "coordinate a distributed fleet: serve the -study/-study-file grid to -join workers on this address (port 0 picks a free one; see README: running a fleet)")
+		joinAddr  = flag.String("join", "", "join the fleet coordinator at this host:port as a worker and execute leased cells")
+		resumeDir = flag.String("resume", "", "-listen: checkpoint completed cells into this spool directory and skip them on restart")
+		leaseTTL  = flag.Duration("lease-ttl", fleet.DefaultLeaseTTL, "-listen: cell lease window; a worker silent this long loses its cell back to the queue")
 	)
 	flag.Parse()
 	explicit := map[string]bool{}
@@ -233,24 +294,25 @@ func main() {
 		flag.Usage()
 		os.Exit(2)
 	}
+	if err := validateFleetArgs(*listen, *joinAddr, *leaseTTL, explicit); err != nil {
+		fmt.Fprintln(os.Stderr, "napawine:", err)
+		flag.Usage()
+		os.Exit(2)
+	}
 	// Two parallelism levels multiply: each in-flight experiment runs
 	// -shards goroutines. An explicit pair that oversubscribes the machine
 	// is a usage error; an unset -workers is derated automatically so the
-	// default stays "use the machine once", not -shards times over.
-	if *shards > 1 {
-		cores := runtime.GOMAXPROCS(0)
-		if explicit["workers"] && *workers > 1 && *workers**shards > cores {
-			fmt.Fprintf(os.Stderr, "napawine: -workers %d × -shards %d oversubscribes GOMAXPROCS (%d); lower one of them\n",
-				*workers, *shards, cores)
+	// default stays "use the machine once", not -shards times over. A -join
+	// worker skips the local check: its shard count is the study's own,
+	// discovered at join time, and RunWorker applies the same guard there.
+	if *joinAddr == "" {
+		w, err := fleet.WorkerBudget(*workers, explicit["workers"], *shards, runtime.GOMAXPROCS(0))
+		if err != nil {
+			fmt.Fprintln(os.Stderr, "napawine:", err)
 			flag.Usage()
 			os.Exit(2)
 		}
-		if !explicit["workers"] {
-			*workers = cores / *shards
-			if *workers < 1 {
-				*workers = 1
-			}
-		}
+		*workers = w
 	}
 
 	if *listScens {
@@ -270,6 +332,26 @@ func main() {
 	// without flushing them — those invocations ran nothing worth
 	// profiling anyway.
 	defer startProfiles(*cpuProf, *memProf)()
+
+	// A fleet worker needs nothing local: it downloads the study, leases
+	// cells until the coordinator disbands it, and prints no tables (the
+	// coordinator renders the assembled result).
+	if *joinAddr != "" {
+		err := fleet.RunWorker(context.Background(), fleet.WorkerConfig{
+			Addr:    *joinAddr,
+			Workers: *workers, ExplicitWorkers: explicit["workers"],
+			Log: func(format string, args ...any) { fmt.Fprintf(os.Stderr, format+"\n", args...) },
+		})
+		if errors.Is(err, fleet.ErrOversubscribed) {
+			fmt.Fprintln(os.Stderr, "napawine:", err)
+			flag.Usage()
+			os.Exit(2)
+		}
+		if err != nil {
+			fatal(err)
+		}
+		return
+	}
 
 	// openOut resolves -out. It runs only after every usage validation and
 	// file load has passed, so a usage error can never truncate an
@@ -344,7 +426,11 @@ func main() {
 		}
 		out, closeOut := openOut()
 		ds, finishDash := startDash()
-		runStudy(st, *workers, *csv, out, ds, writeSVGs)
+		if *listen != "" {
+			runFleetCoordinator(st, *listen, *resumeDir, *leaseTTL, *csv, out, ds, writeSVGs)
+		} else {
+			runStudy(st, *workers, *csv, out, ds, writeSVGs)
+		}
 		closeOut()
 		finishDash()
 		return
@@ -623,6 +709,47 @@ func runStudy(st *napawine.Study, workers int, csv bool, out io.Writer, ds *dash
 		opts = append(opts, napawine.WithObserver(ds))
 	}
 	res, err := napawine.RunStudy(context.Background(), st, opts...)
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "done in %v\n\n", time.Since(start).Round(time.Millisecond))
+
+	render := renderer(csv, out)
+	render(res.ComparisonTable())
+	writeSVGs(res.MetricBars())
+}
+
+// runFleetCoordinator serves a study grid to -join workers instead of
+// running it locally: same progress lines, dashboard and artifacts as
+// runStudy — the observers just watch a fleet execute the cells. Fleet
+// events (worker joins, lease expiries, spool restores) additionally
+// narrate onto the dashboard's fleet log.
+func runFleetCoordinator(st *napawine.Study, listen, resumeDir string, leaseTTL time.Duration, csv bool, out io.Writer, ds *dash.Server, writeSVGs func([]plot.Artifact)) {
+	fmt.Fprintf(os.Stderr, "study %s: %d runs, distributed (lease ttl %v)\n", st.Name, st.Runs(), leaseTTL)
+	start := time.Now()
+	obs := []napawine.StudyObserver{&progress{start: start}}
+	if ds != nil {
+		if err := ds.BeginStudy(st); err != nil {
+			fatal(err)
+		}
+		obs = append(obs, ds)
+	}
+	logf := func(format string, args ...any) {
+		fmt.Fprintf(os.Stderr, format+"\n", args...)
+		if ds != nil {
+			ds.Note("fleet", fmt.Sprintf(format, args...))
+		}
+	}
+	coord, err := fleet.NewCoordinator(fleet.CoordinatorConfig{
+		Study: st, Addr: listen, LeaseTTL: leaseTTL, SpoolDir: resumeDir,
+		Observers: obs, Log: logf,
+	})
+	if err != nil {
+		fatal(err)
+	}
+	fmt.Fprintf(os.Stderr, "fleet: coordinating on %s (join with: napawine -join %s)\n", coord.Addr(), coord.Addr())
+	res, err := coord.Wait(context.Background())
+	_ = coord.Close()
 	if err != nil {
 		fatal(err)
 	}

@@ -3,6 +3,7 @@ package main
 import (
 	"strings"
 	"testing"
+	"time"
 )
 
 func TestValidateArgsAcceptsValidCombos(t *testing.T) {
@@ -167,6 +168,53 @@ func TestValidateStudyArgs(t *testing.T) {
 	for _, f := range []string{"exp", "scenario", "scenario-file", "strategy"} {
 		if err := validateStudyArgs("strategy-comparison", "", map[string]bool{f: true}); err == nil {
 			t.Errorf("-%s with -study accepted (it would be silently ignored)", f)
+		}
+	}
+}
+
+func TestValidateFleetArgs(t *testing.T) {
+	ttl := 30 * time.Second
+	// Plain local runs are untouched.
+	if err := validateFleetArgs("", "", ttl, map[string]bool{"exp": true}); err != nil {
+		t.Errorf("local run rejected: %v", err)
+	}
+	// A coordinator needs a study and owns -resume/-lease-ttl.
+	if err := validateFleetArgs(":0", "", ttl,
+		map[string]bool{"listen": true, "study": true, "resume": true, "lease-ttl": true}); err != nil {
+		t.Errorf("coordinator flags rejected: %v", err)
+	}
+	if err := validateFleetArgs(":0", "", ttl, map[string]bool{"listen": true}); err == nil {
+		t.Error("-listen without a study accepted")
+	}
+	if err := validateFleetArgs(":0", "", ttl,
+		map[string]bool{"listen": true, "study": true, "workers": true}); err == nil {
+		t.Error("-workers with -listen accepted (the coordinator runs no cells)")
+	}
+	if err := validateFleetArgs(":0", "", 0,
+		map[string]bool{"listen": true, "study": true}); err == nil {
+		t.Error("non-positive -lease-ttl accepted")
+	}
+	// Coordinator and worker roles are exclusive.
+	if err := validateFleetArgs(":0", "host:1", ttl,
+		map[string]bool{"listen": true, "join": true, "study": true}); err == nil {
+		t.Error("-listen together with -join accepted")
+	}
+	// -resume / -lease-ttl mean nothing without -listen.
+	for _, f := range []string{"resume", "lease-ttl"} {
+		if err := validateFleetArgs("", "", ttl, map[string]bool{f: true}); err == nil {
+			t.Errorf("-%s without -listen accepted", f)
+		}
+	}
+	// A worker takes only its budget and profiles; everything else about
+	// the run comes from the coordinator.
+	if err := validateFleetArgs("", "host:1", ttl,
+		map[string]bool{"join": true, "workers": true, "cpuprofile": true, "memprofile": true}); err != nil {
+		t.Errorf("worker whitelist rejected: %v", err)
+	}
+	for _, f := range []string{"shards", "study", "study-file", "exp", "seeds", "duration", "out", "svg-out", "http"} {
+		err := validateFleetArgs("", "host:1", ttl, map[string]bool{"join": true, f: true})
+		if err == nil || !strings.Contains(err.Error(), "-"+f) {
+			t.Errorf("-%s with -join: %v, want a usage error naming it", f, err)
 		}
 	}
 }

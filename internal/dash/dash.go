@@ -59,6 +59,7 @@ type Server struct {
 	studyName string
 	startedAt time.Time
 	runs      []runState
+	notes     []noteView
 	subs      map[*subscriber]struct{}
 }
 
@@ -81,6 +82,7 @@ func New(addr string) (*Server, error) {
 	mux.HandleFunc("/api/study", s.handleStudy)
 	mux.HandleFunc("/api/runs", s.handleRuns)
 	mux.HandleFunc("/api/series", s.handleSeries)
+	mux.HandleFunc("/api/fleet", s.handleFleet)
 	mux.HandleFunc("/events", s.handleEvents)
 	s.srv = &http.Server{Handler: mux}
 	s.wg.Add(1)
@@ -127,6 +129,23 @@ func (s *Server) BeginStudy(st *study.Study) error {
 	s.mu.Unlock()
 	s.broadcast(ev)
 	return nil
+}
+
+// Note records one fleet-level event (a worker joining, a lease expiring,
+// cells restored from a checkpoint) and streams it to every browser. Fleet
+// notes sit outside the cell grid: they narrate the machinery executing the
+// study, not the study itself. Kind is a short category ("worker", "lease",
+// "spool"); text is the human line. Safe for concurrent use.
+func (s *Server) Note(kind, text string) {
+	s.mu.Lock()
+	n := noteView{Kind: kind, Text: text, TMs: time.Since(s.startedAt).Milliseconds()}
+	if s.startedAt.IsZero() {
+		n.TMs = 0
+	}
+	s.notes = append(s.notes, n)
+	ev := event("fleet", n)
+	s.mu.Unlock()
+	s.broadcast(ev)
 }
 
 // --- study.Observer ---
@@ -203,11 +222,19 @@ type runView struct {
 	Scenario   string  `json:"scenario,omitempty"`
 	Variant    string  `json:"variant,omitempty"`
 	Seed       int64   `json:"seed"`
+	Worker     string  `json:"worker,omitempty"`
 	Status     string  `json:"status"`
 	Continuity float64 `json:"continuity"`
 	Error      string  `json:"error,omitempty"`
 	ElapsedMs  int64   `json:"elapsed_ms"`
 	Samples    int     `json:"samples"`
+}
+
+// noteView is one fleet note: machinery narration alongside the cell grid.
+type noteView struct {
+	Kind string `json:"kind"`
+	Text string `json:"text"`
+	TMs  int64  `json:"t_ms"`
 }
 
 type sampleView struct {
@@ -252,7 +279,7 @@ func (s *Server) runJSONLocked(i int) runView {
 		Index: r.Info.Index, Label: r.Info.Label(),
 		App: r.Info.App, Strategy: r.Info.Strategy,
 		Scenario: r.Info.Scenario, Variant: r.Info.Variant,
-		Seed: r.Info.Seed, Status: r.Status,
+		Seed: r.Info.Seed, Worker: r.Info.Worker, Status: r.Status,
 		Continuity: r.Continuity, Error: r.Err,
 		ElapsedMs: r.ElapsedMs, Samples: len(r.Samples),
 	}
@@ -302,6 +329,14 @@ func (s *Server) handleSeries(w http.ResponseWriter, r *http.Request) {
 	for i, smp := range s.runs[idx].Samples {
 		views[i] = sampleJSON(idx, smp)
 	}
+	s.mu.Unlock()
+	writeJSON(w, views)
+}
+
+func (s *Server) handleFleet(w http.ResponseWriter, _ *http.Request) {
+	s.mu.Lock()
+	views := make([]noteView, len(s.notes))
+	copy(views, s.notes)
 	s.mu.Unlock()
 	writeJSON(w, views)
 }

@@ -13,6 +13,7 @@ import (
 	"testing"
 	"time"
 
+	"napawine/internal/experiment"
 	"napawine/internal/study"
 )
 
@@ -285,5 +286,84 @@ func TestSlowSubscriberNeverBlocks(t *testing.T) {
 
 	if got := stuck.dropped.Load(); got != 100-int64(s.subBuffer) {
 		t.Errorf("stuck subscriber dropped %d events, want %d", got, 100-s.subBuffer)
+	}
+}
+
+// TestFleetNotesAndWorkerAttribution pins the distributed-run surface: a
+// RunInfo carrying a Worker shows up in the run views, and Server.Note
+// events reach /api/fleet, the SSE stream, and late subscribers' snapshots.
+func TestFleetNotesAndWorkerAttribution(t *testing.T) {
+	s := newServer(t)
+	defer s.Close()
+
+	st := miniStudy()
+	if err := s.BeginStudy(st); err != nil {
+		t.Fatal(err)
+	}
+	infos, err := st.RunInfos()
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	ctx, cancel := context.WithCancel(context.Background())
+	defer cancel()
+	events := sseEvents(ctx, s.Addr())
+	if events == nil {
+		t.Fatal("could not open the SSE stream")
+	}
+
+	s.Note("worker", "worker w1 joined")
+	info := infos[0]
+	info.Worker = "w1"
+	s.OnRunStart(info)
+	s.OnRunDone(info, experiment.Summary{MeanContinuity: 0.9}, nil)
+	s.Note("lease", "lease on cell 2 expired; requeued")
+
+	var runs []runView
+	getJSON(t, "http://"+s.Addr()+"/api/runs", &runs)
+	if runs[0].Worker != "w1" || runs[0].Status != "done" {
+		t.Fatalf("run view lost worker attribution: %+v", runs[0])
+	}
+	if runs[1].Worker != "" {
+		t.Fatalf("unattributed cell grew a worker: %+v", runs[1])
+	}
+
+	var notes []noteView
+	getJSON(t, "http://"+s.Addr()+"/api/fleet", &notes)
+	if len(notes) != 2 || notes[0].Kind != "worker" || notes[1].Kind != "lease" ||
+		!strings.Contains(notes[1].Text, "requeued") {
+		t.Fatalf("fleet notes: %+v", notes)
+	}
+
+	// A subscriber arriving after the notes still sees them: the snapshot
+	// replays stored notes.
+	lateCtx, lateCancel := context.WithTimeout(context.Background(), 2*time.Second)
+	defer lateCancel()
+	late := sseEvents(lateCtx, s.Addr())
+	if late == nil {
+		t.Fatal("could not open the late SSE stream")
+	}
+	lateFleet := 0
+	for name := range late {
+		if name == "fleet" {
+			lateFleet++
+			if lateFleet == 2 {
+				lateCancel()
+			}
+		}
+	}
+	if lateFleet != 2 {
+		t.Errorf("late subscriber snapshot replayed %d fleet notes, want 2", lateFleet)
+	}
+
+	cancel()
+	liveFleet := 0
+	for name := range events {
+		if name == "fleet" {
+			liveFleet++
+		}
+	}
+	if liveFleet != 2 {
+		t.Errorf("live stream delivered %d fleet events, want 2", liveFleet)
 	}
 }

@@ -55,6 +55,9 @@ func (s *Server) subscribe() (*subscriber, [][]byte) {
 	for i := range s.runs {
 		snapshot = append(snapshot, event("run", s.runJSONLocked(i)))
 	}
+	for _, n := range s.notes {
+		snapshot = append(snapshot, event("fleet", n))
+	}
 	return sub, snapshot
 }
 

@@ -29,6 +29,9 @@ const indexHTML = `<!doctype html>
   .cell.failed   { border-color: #e34948; }
   svg.spark { display: block; margin-top: 4px; }
   #drops { color: #eb6834; font-size: 12px; margin-top: 12px; }
+  #fleet { margin-top: 16px; font-size: 12px; color: #52514e; }
+  #fleet div { border-left: 2px solid #e7e6e3; padding-left: 8px; margin: 2px 0; }
+  .cell .wk { color: #8a67c8; }
 </style>
 </head>
 <body>
@@ -37,6 +40,7 @@ const indexHTML = `<!doctype html>
 <div id="bar"><div id="fill"></div></div>
 <div id="grid"></div>
 <div id="drops"></div>
+<div id="fleet"></div>
 <script>
 "use strict";
 const runs = new Map();   // index -> run view
@@ -71,9 +75,11 @@ function renderCell(r) {
   let detail = r.status;
   if (r.status === "done") detail += " · cont " + r.continuity.toFixed(3);
   if (r.elapsed_ms > 0) detail += " · " + fmtMs(r.elapsed_ms);
+  const wk = r.worker ?
+    ' <span class="wk">@' + r.worker.replace(/&/g, "&amp;").replace(/</g, "&lt;") + "</span>" : "";
   el.innerHTML = '<div class="lbl">' + (r.index + 1) + "/" + (study ? study.total : "?") +
     " " + r.label.replace(/&/g, "&amp;").replace(/</g, "&lt;") + "</div>" +
-    '<div class="st">' + detail + "</div>" + spark(series.get(r.index));
+    '<div class="st">' + detail + wk + "</div>" + spark(series.get(r.index));
 }
 
 function renderStudy(s) {
@@ -102,6 +108,12 @@ es.addEventListener("sample", e => {
   series.set(s.run, pts);
   const r = runs.get(s.run);
   if (r) renderCell(r);
+});
+es.addEventListener("fleet", e => {
+  const n = JSON.parse(e.data);
+  const el = document.createElement("div");
+  el.textContent = fmtMs(n.t_ms) + " [" + n.kind + "] " + n.text;
+  document.getElementById("fleet").appendChild(el);
 });
 es.addEventListener("drop", e => {
   dropped += JSON.parse(e.data).dropped;

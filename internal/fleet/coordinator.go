@@ -1,0 +1,493 @@
+package fleet
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"net"
+	"net/http"
+	"sync"
+	"time"
+
+	"napawine/internal/experiment"
+	"napawine/internal/study"
+)
+
+// DefaultLeaseTTL is the lease window when CoordinatorConfig leaves it
+// unset: generous enough that a worker heartbeating at TTL/3 survives a few
+// dropped posts, short enough that a killed worker's cells requeue quickly.
+const DefaultLeaseTTL = 30 * time.Second
+
+// waitRetry is the poll delay suggested to workers when nothing is leasable
+// right now (every cell leased or done, but the grid not yet complete).
+const waitRetry = 500 * time.Millisecond
+
+// Cell lifecycle at the coordinator.
+const (
+	statePending = iota
+	stateLeased
+	stateDone
+)
+
+// cellState tracks one grid cell through the lease protocol.
+type cellState struct {
+	state    int
+	worker   string    // lease owner (stateLeased) or computing worker (stateDone)
+	deadline time.Time // lease expiry (stateLeased)
+	started  bool      // an OnRunStart was fanned for the current lease
+	sum      experiment.Summary
+}
+
+// CoordinatorConfig parameterizes NewCoordinator.
+type CoordinatorConfig struct {
+	// Study is the grid to distribute. It must be encodable (the codec's
+	// contract): a study carrying a programmatic variant Mutate cannot
+	// travel to workers and is rejected.
+	Study *study.Study
+	// Addr is the listen address (host:port; port 0 picks a free one).
+	Addr string
+	// LeaseTTL is the lease window; 0 selects DefaultLeaseTTL. A cell
+	// whose lease is not renewed (by heartbeat, event or result) within
+	// the window returns to the queue.
+	LeaseTTL time.Duration
+	// SpoolDir, when non-empty, checkpoints every completed cell there and
+	// restores already-completed cells on start — the -resume directory.
+	SpoolDir string
+	// Observers receive the same callbacks a local study.Run would issue,
+	// with RunInfo.Worker attributing each cell to the worker that
+	// computed it ("spool" for restored cells). Deliveries are
+	// panic-isolated per observer, like study.Run's fan-out.
+	Observers []study.Observer
+	// Log, when non-nil, receives one line per fleet event (worker joins,
+	// lease expiries, checkpoint restores). It must be safe for concurrent
+	// use.
+	Log func(format string, args ...any)
+}
+
+// Coordinator serves a study grid to fleet workers and fans their progress
+// back into observers. Create with NewCoordinator, harvest with Wait, tear
+// down with Close.
+type Coordinator struct {
+	st        *study.Study
+	studyJSON []byte
+	digest    string
+	digests   []string // per-index cell digests
+	infos     []study.RunInfo
+	ttl       time.Duration
+	spool     *spool
+	observers []study.Observer
+	log       func(format string, args ...any)
+
+	ln  net.Listener
+	srv *http.Server
+	wg  sync.WaitGroup
+
+	mu        sync.Mutex
+	cells     []cellState
+	remaining int             // cells not yet done
+	workers   map[string]bool // worker names seen, for join logging
+	failErr   error           // first cell failure, by lowest grid index
+	failIdx   int
+
+	done   chan struct{} // closed when remaining hits 0
+	failed chan struct{} // closed on the first cell failure
+}
+
+// NewCoordinator validates and digests the study, restores any spooled
+// cells, binds the listener and starts serving leases. When a spool is
+// configured the bound address is also written to SPOOL/addr so scripts can
+// join workers to a port-0 coordinator.
+func NewCoordinator(cfg CoordinatorConfig) (*Coordinator, error) {
+	if cfg.Study == nil {
+		return nil, fmt.Errorf("fleet: coordinator without a study")
+	}
+	var buf bytes.Buffer
+	if err := study.Encode(&buf, cfg.Study); err != nil {
+		return nil, err
+	}
+	digest, err := cfg.Study.Digest()
+	if err != nil {
+		return nil, err
+	}
+	infos, err := cfg.Study.RunInfos()
+	if err != nil {
+		return nil, err
+	}
+	digests, err := cellDigests(cfg.Study, digest)
+	if err != nil {
+		return nil, err
+	}
+	ttl := cfg.LeaseTTL
+	if ttl <= 0 {
+		ttl = DefaultLeaseTTL
+	}
+	c := &Coordinator{
+		st:        cfg.Study,
+		studyJSON: buf.Bytes(),
+		digest:    digest,
+		digests:   digests,
+		infos:     infos,
+		ttl:       ttl,
+		observers: cfg.Observers,
+		log:       cfg.Log,
+		cells:     make([]cellState, len(infos)),
+		remaining: len(infos),
+		workers:   make(map[string]bool),
+		failIdx:   -1,
+		done:      make(chan struct{}),
+		failed:    make(chan struct{}),
+	}
+	if c.log == nil {
+		c.log = func(string, ...any) {}
+	}
+
+	if cfg.SpoolDir != "" {
+		sp, err := openSpool(cfg.SpoolDir, c.studyJSON)
+		if err != nil {
+			return nil, err
+		}
+		c.spool = sp
+		recs, err := sp.load(digests)
+		if err != nil {
+			return nil, err
+		}
+		for idx, rec := range recs {
+			c.cells[idx] = cellState{state: stateDone, worker: rec.Worker, sum: rec.Summary}
+			c.remaining--
+			info := c.attributed(idx, "spool")
+			c.fanDone(info, rec.Summary, nil)
+		}
+		if len(recs) > 0 {
+			c.log("fleet: restored %d/%d cells from spool %s", len(recs), len(infos), cfg.SpoolDir)
+		}
+		if c.remaining == 0 {
+			close(c.done)
+		}
+	}
+
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		return nil, fmt.Errorf("fleet: %w", err)
+	}
+	c.ln = ln
+	if c.spool != nil {
+		if err := c.spool.writeAddr(ln.Addr().String()); err != nil {
+			ln.Close()
+			return nil, err
+		}
+	}
+	mux := http.NewServeMux()
+	mux.HandleFunc("GET /fleet/v1/study", c.handleStudy)
+	mux.HandleFunc("POST /fleet/v1/lease", c.handleLease)
+	mux.HandleFunc("POST /fleet/v1/event", c.handleEvent)
+	mux.HandleFunc("POST /fleet/v1/result", c.handleResult)
+	c.srv = &http.Server{Handler: mux}
+	c.wg.Add(1)
+	go func() {
+		defer c.wg.Done()
+		_ = c.srv.Serve(ln)
+	}()
+	return c, nil
+}
+
+// Addr is the bound address, e.g. "127.0.0.1:43117" after ":0".
+func (c *Coordinator) Addr() string { return c.ln.Addr().String() }
+
+// Remaining reports how many cells are not yet completed.
+func (c *Coordinator) Remaining() int {
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	return c.remaining
+}
+
+// Wait blocks until the grid completes, a cell fails, or ctx is done.
+//
+// The contract mirrors study.Run: a complete grid assembles and returns the
+// full Result; a cell failure returns a nil Result with the first failing
+// cell's error (in grid order); cancellation returns the partial Result —
+// completed cells have Done set and well-formed summaries — alongside
+// ctx.Err(). Workers still holding leases learn the outcome from their next
+// lease request.
+func (c *Coordinator) Wait(ctx context.Context) (*study.Result, error) {
+	select {
+	case <-c.done:
+		return c.assemble()
+	case <-c.failed:
+		c.mu.Lock()
+		err := c.failErr
+		c.mu.Unlock()
+		return nil, fmt.Errorf("study %s: %w", c.st.Name, err)
+	case <-ctx.Done():
+		res, aerr := c.assemble()
+		if aerr != nil {
+			return nil, aerr
+		}
+		return res, ctx.Err()
+	}
+}
+
+// assemble builds the study Result from the completed cells.
+func (c *Coordinator) assemble() (*study.Result, error) {
+	c.mu.Lock()
+	sums := make([]experiment.Summary, len(c.cells))
+	done := make([]bool, len(c.cells))
+	for i, cs := range c.cells {
+		if cs.state == stateDone {
+			sums[i], done[i] = cs.sum, true
+		}
+	}
+	c.mu.Unlock()
+	return study.NewResult(c.st, sums, done)
+}
+
+// Close stops serving: the listener and every open connection close, and
+// the server goroutine is joined. In-flight workers see connection errors
+// and redial until their retry budget runs out.
+func (c *Coordinator) Close() error {
+	err := c.srv.Close()
+	c.wg.Wait()
+	return err
+}
+
+// attributed returns cell idx's RunInfo with its execution attributed to
+// worker.
+func (c *Coordinator) attributed(idx int, worker string) study.RunInfo {
+	info := c.infos[idx]
+	info.Worker = worker
+	return info
+}
+
+// fanEach delivers one callback to every observer, panic-isolated per
+// observer exactly like study.Run's fan-out: a misbehaving dashboard must
+// never take the coordinator down.
+func (c *Coordinator) fanEach(call func(study.Observer)) {
+	for _, obs := range c.observers {
+		if obs == nil {
+			continue
+		}
+		func() {
+			defer func() { _ = recover() }()
+			call(obs)
+		}()
+	}
+}
+
+func (c *Coordinator) fanStart(info study.RunInfo) {
+	c.fanEach(func(o study.Observer) { o.OnRunStart(info) })
+}
+
+func (c *Coordinator) fanDone(info study.RunInfo, sum experiment.Summary, err error) {
+	c.fanEach(func(o study.Observer) { o.OnRunDone(info, sum, err) })
+}
+
+func (c *Coordinator) fanSample(info study.RunInfo, s experiment.SeriesSample) {
+	c.fanEach(func(o study.Observer) { o.OnSample(info, s) })
+}
+
+// reapLocked requeues every expired lease. Called with c.mu held, lazily
+// from the lease path: expiry only matters when someone could pick the cell
+// up again.
+func (c *Coordinator) reapLocked(now time.Time) {
+	for i := range c.cells {
+		cs := &c.cells[i]
+		if cs.state == stateLeased && now.After(cs.deadline) {
+			c.log("fleet: lease on cell %d/%d (%s) from %s expired; requeued",
+				i+1, len(c.cells), c.infos[i].Label(), cs.worker)
+			*cs = cellState{state: statePending}
+		}
+	}
+}
+
+// --- HTTP handlers ---
+
+func writeJSON(w http.ResponseWriter, v any) {
+	w.Header().Set("Content-Type", "application/json")
+	_ = json.NewEncoder(w).Encode(v)
+}
+
+// decodeInto parses one strict JSON request body.
+func decodeInto(w http.ResponseWriter, r *http.Request, v any) bool {
+	dec := json.NewDecoder(r.Body)
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(v); err != nil {
+		http.Error(w, fmt.Sprintf("bad request: %v", err), http.StatusBadRequest)
+		return false
+	}
+	return true
+}
+
+func (c *Coordinator) handleStudy(w http.ResponseWriter, _ *http.Request) {
+	writeJSON(w, studyReply{Study: c.studyJSON, Digest: c.digest, LeaseTTLMs: c.ttl.Milliseconds()})
+}
+
+func (c *Coordinator) handleLease(w http.ResponseWriter, r *http.Request) {
+	var req leaseRequest
+	if !decodeInto(w, r, &req) {
+		return
+	}
+	if req.Worker == "" {
+		http.Error(w, "lease request without a worker name", http.StatusBadRequest)
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	if !c.workers[req.Worker] {
+		c.workers[req.Worker] = true
+		c.log("fleet: worker %s joined (%s)", req.Worker, r.RemoteAddr)
+	}
+	if c.failErr != nil {
+		rep := leaseReply{Status: StatusFailed, Error: c.failErr.Error()}
+		c.mu.Unlock()
+		writeJSON(w, rep)
+		return
+	}
+	if c.remaining == 0 {
+		c.mu.Unlock()
+		writeJSON(w, leaseReply{Status: StatusDone})
+		return
+	}
+	c.reapLocked(now)
+	for i := range c.cells {
+		if c.cells[i].state != statePending {
+			continue
+		}
+		c.cells[i] = cellState{state: stateLeased, worker: req.Worker, deadline: now.Add(c.ttl)}
+		rep := leaseReply{Status: StatusLease, Index: i, Digest: c.digests[i], TTLMs: c.ttl.Milliseconds()}
+		c.mu.Unlock()
+		writeJSON(w, rep)
+		return
+	}
+	c.mu.Unlock()
+	writeJSON(w, leaseReply{Status: StatusWait, RetryMs: waitRetry.Milliseconds()})
+}
+
+// holdsLease reports whether worker currently owns a live lease on cell
+// idx, renewing it when so. Called with c.mu held.
+func (c *Coordinator) holdsLeaseLocked(idx int, worker string, now time.Time) bool {
+	if idx < 0 || idx >= len(c.cells) {
+		return false
+	}
+	cs := &c.cells[idx]
+	if cs.state != stateLeased || cs.worker != worker || now.After(cs.deadline) {
+		return false
+	}
+	cs.deadline = now.Add(c.ttl)
+	return true
+}
+
+func (c *Coordinator) handleEvent(w http.ResponseWriter, r *http.Request) {
+	var ev eventPost
+	if !decodeInto(w, r, &ev) {
+		return
+	}
+	now := time.Now()
+	c.mu.Lock()
+	if !c.holdsLeaseLocked(ev.Index, ev.Worker, now) {
+		c.mu.Unlock()
+		http.Error(w, "lease gone", http.StatusGone)
+		return
+	}
+	var fan func()
+	switch ev.Kind {
+	case eventStart:
+		c.cells[ev.Index].started = true
+		info := c.attributed(ev.Index, ev.Worker)
+		fan = func() { c.fanStart(info) }
+	case eventSample:
+		if ev.Sample == nil {
+			c.mu.Unlock()
+			http.Error(w, "sample event without a sample", http.StatusBadRequest)
+			return
+		}
+		info := c.attributed(ev.Index, ev.Worker)
+		s := *ev.Sample
+		fan = func() { c.fanSample(info, s) }
+	case eventRenew:
+		// The deadline extension above is the whole effect.
+	default:
+		c.mu.Unlock()
+		http.Error(w, fmt.Sprintf("unknown event kind %q", ev.Kind), http.StatusBadRequest)
+		return
+	}
+	c.mu.Unlock()
+	if fan != nil {
+		fan()
+	}
+	writeJSON(w, okReply{OK: true})
+}
+
+func (c *Coordinator) handleResult(w http.ResponseWriter, r *http.Request) {
+	var res resultPost
+	if !decodeInto(w, r, &res) {
+		return
+	}
+	if res.Index < 0 || res.Index >= len(c.cells) {
+		http.Error(w, "cell index out of range", http.StatusBadRequest)
+		return
+	}
+	if res.Digest != c.digests[res.Index] {
+		http.Error(w, "cell digest mismatch (different study?)", http.StatusBadRequest)
+		return
+	}
+	if res.Error == "" && res.Summary == nil {
+		http.Error(w, "result without a summary or error", http.StatusBadRequest)
+		return
+	}
+
+	c.mu.Lock()
+	if c.cells[res.Index].state == stateDone {
+		// A worker that lost its lease mid-post, or a duplicate delivery:
+		// cells are deterministic, so the summary already recorded is the
+		// same one. Acknowledge idempotently.
+		complete := c.remaining == 0
+		c.mu.Unlock()
+		writeJSON(w, okReply{OK: true, Done: complete})
+		return
+	}
+	if res.Error != "" {
+		info := c.attributed(res.Index, res.Worker)
+		err := fmt.Errorf("%s: %s", info.Label(), res.Error)
+		if c.failIdx == -1 || res.Index < c.failIdx {
+			c.failIdx, c.failErr = res.Index, err
+		}
+		c.cells[res.Index] = cellState{state: statePending}
+		first := c.failIdx == res.Index
+		c.mu.Unlock()
+		c.log("fleet: cell %d/%d (%s) failed on %s: %s", res.Index+1, len(c.cells), info.Label(), res.Worker, res.Error)
+		c.fanDone(info, experiment.Summary{}, err)
+		if first {
+			// Close exactly once: the lowest-index race is settled under
+			// the lock; only the holder of failIdx at unlock closes.
+			select {
+			case <-c.failed:
+			default:
+				close(c.failed)
+			}
+		}
+		writeJSON(w, okReply{OK: true})
+		return
+	}
+	c.cells[res.Index] = cellState{state: stateDone, worker: res.Worker, sum: *res.Summary}
+	c.remaining--
+	last := c.remaining == 0
+	info := c.attributed(res.Index, res.Worker)
+	c.mu.Unlock()
+
+	if c.spool != nil {
+		rec := cellRecord{
+			Digest: res.Digest, Index: res.Index, Label: info.Label(),
+			Worker: res.Worker, Summary: *res.Summary,
+		}
+		if err := c.spool.put(rec); err != nil {
+			// The run can still finish in memory; the record is just not
+			// resumable. Say so loudly.
+			c.log("fleet: checkpoint for cell %d failed: %v", res.Index, err)
+		}
+	}
+	c.fanDone(info, *res.Summary, nil)
+	if last {
+		close(c.done)
+	}
+	writeJSON(w, okReply{OK: true, Done: last})
+}

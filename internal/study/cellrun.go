@@ -1,0 +1,134 @@
+package study
+
+import (
+	"bytes"
+	"context"
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+
+	"napawine/internal/experiment"
+)
+
+// This file is the study's cell-level execution surface: the pieces a
+// distributed executor (internal/fleet) needs to run a grid one cell at a
+// time on different machines and still assemble the exact Result a local
+// study.Run would have produced. Cells are addressed two ways — by grid
+// index for the wire protocol, and by canonical JSON digest for the
+// checkpoint spool, where a key must survive coordinator restarts and mean
+// the same cell bit-for-bit.
+
+// Digest returns the study's canonical content address: the SHA-256 of its
+// canonical JSON encoding, in hex. Two Study values digest equal exactly
+// when they encode equal, so a spool keyed by it can never resume one study
+// with another's cells. A study that cannot be encoded (a programmatic
+// variant Mutate) has no digest; distributing it is rejected loudly for the
+// same reason the codec rejects it.
+func (st *Study) Digest() (string, error) {
+	var buf bytes.Buffer
+	if err := Encode(&buf, st); err != nil {
+		return "", err
+	}
+	sum := sha256.Sum256(buf.Bytes())
+	return hex.EncodeToString(sum[:]), nil
+}
+
+// cellKeyDoc is the canonical JSON document a cell digest hashes: the
+// owning study's digest plus the cell's full grid coordinate. Field order
+// is fixed by the struct, values are scalars, so the encoding — and hence
+// the digest — is deterministic across machines and Go releases.
+type cellKeyDoc struct {
+	Study      string `json:"study_sha256"`
+	Index      int    `json:"index"`
+	App        string `json:"app"`
+	Strategy   string `json:"strategy"`
+	Scenario   string `json:"scenario"`
+	Variant    string `json:"variant"`
+	QueueDepth int    `json:"queue_depth"`
+	Seed       int64  `json:"seed"`
+}
+
+// CellDigest returns the canonical digest of one grid cell under the study
+// identified by studyDigest (from Study.Digest): the SHA-256 of the cell's
+// canonical JSON key document, in hex. It is the checkpoint spool's file
+// key — stable across runs, unique per cell, and bound to the exact study
+// encoding, so a resumed coordinator skips a finished cell only when every
+// knob that shaped it is bit-identical.
+func CellDigest(studyDigest string, info RunInfo) string {
+	doc, err := json.Marshal(cellKeyDoc{
+		Study:      studyDigest,
+		Index:      info.Index,
+		App:        info.App,
+		Strategy:   info.Strategy,
+		Scenario:   info.Scenario,
+		Variant:    info.Variant,
+		QueueDepth: info.QueueDepth,
+		Seed:       info.Seed,
+	})
+	if err != nil {
+		// cellKeyDoc is scalars only; Marshal cannot fail.
+		panic(fmt.Sprintf("study: cell digest marshal: %v", err))
+	}
+	sum := sha256.Sum256(doc)
+	return hex.EncodeToString(sum[:])
+}
+
+// RunCell executes exactly one grid cell of st, by index, and reduces it to
+// its bounded summary — the unit of work a fleet worker leases. The cell's
+// configuration is the same knob-for-knob construction Run uses, so a cell
+// computed remotely is byte-identical to the same cell computed locally
+// (the fleet parity tests pin this). onSample, when non-nil, streams the
+// cell's time-series buckets exactly as Run's Observer.OnSample would; it
+// only fires for scenario cells, mirroring Run.
+func RunCell(ctx context.Context, st *Study, index int, onSample func(experiment.SeriesSample)) (experiment.Summary, error) {
+	cells, err := st.resolveGrid()
+	if err != nil {
+		return experiment.Summary{}, err
+	}
+	if index < 0 || index >= len(cells) {
+		return experiment.Summary{}, fmt.Errorf("study %s: cell index %d out of range [0,%d)", st.Name, index, len(cells))
+	}
+	c := cells[index]
+	cfg, err := c.config(st)
+	if err != nil {
+		return experiment.Summary{}, fmt.Errorf("%s: %w", c.info(len(cells)).Label(), err)
+	}
+	if onSample != nil && c.scn != nil {
+		cfg.OnSample = onSample
+	}
+	r, err := experiment.RunCtx(ctx, cfg)
+	if err != nil {
+		return experiment.Summary{}, fmt.Errorf("%s: %w", c.info(len(cells)).Label(), err)
+	}
+	return experiment.Summarize(r), nil
+}
+
+// NewResult assembles a Result from externally computed cell summaries, in
+// grid order — the fan-in counterpart of RunCell. sums and done must both
+// be st.Runs() long; done[i] reports whether cell i actually ran (an
+// aborted distributed run assembles its partial result exactly like a
+// cancelled local one: un-run cells carry a zero Summary and Done=false).
+// The cells' coordinates come from the study's own grid resolution, so an
+// assembled Result and a study.Run Result render identical tables given
+// identical summaries.
+func NewResult(st *Study, sums []experiment.Summary, done []bool) (*Result, error) {
+	cells, err := st.resolveGrid()
+	if err != nil {
+		return nil, err
+	}
+	if len(sums) != len(cells) || len(done) != len(cells) {
+		return nil, fmt.Errorf("study %s: assembling %d summaries / %d done flags over a %d-cell grid",
+			st.Name, len(sums), len(done), len(cells))
+	}
+	res := &Result{Study: st, Seeds: st.SeedList(), Cells: make([]Cell, len(cells))}
+	for i, c := range cells {
+		res.Cells[i] = Cell{
+			Index: c.index,
+			App:   c.app, Strategy: c.strategy, Scenario: c.scnLabel,
+			Variant: c.varName, QueueDepth: c.depth, Seed: c.seed,
+			Done: done[i], Summary: sums[i],
+		}
+	}
+	return res, nil
+}

@@ -24,6 +24,13 @@ type RunInfo struct {
 	Variant    string // "" = stock profile
 	QueueDepth int    // 0 = unbounded uplink queues (congestion off)
 	Seed       int64
+
+	// Worker attributes the cell's execution in a distributed run: the
+	// fleet worker that leased it, or "spool" for a cell restored from a
+	// checkpoint. Empty for local (in-process) execution. Attribution
+	// only — Worker never participates in cell identity, labels or
+	// digests, so a cell is the same cell whoever computes it.
+	Worker string
 }
 
 // info is the one place a cell becomes a RunInfo, so Run's callbacks and

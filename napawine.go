@@ -28,6 +28,7 @@ import (
 	"napawine/internal/apps"
 	"napawine/internal/core"
 	"napawine/internal/experiment"
+	"napawine/internal/fleet"
 	"napawine/internal/overlay"
 	"napawine/internal/plot"
 	"napawine/internal/policy"
@@ -322,6 +323,52 @@ func StudyMetricByKey(key string) (StudyMetric, error) { return study.MetricByKe
 // Seeds builds n sequential trial seeds starting at base, the conventional
 // input for SweepSpec.Seeds.
 func Seeds(base int64, n int) []int64 { return runner.Seeds(base, n) }
+
+// Re-exported fleet types: distributed study execution. One coordinator
+// serves a study's grid cells over HTTP/JSON leases; any number of workers
+// join, execute cells locally, and stream progress back, with completed
+// cells checkpointed for bit-for-bit resume (see README: running a fleet).
+type (
+	// FleetCoordinator serves a study grid to fleet workers and fans their
+	// progress into study observers.
+	FleetCoordinator = fleet.Coordinator
+	// FleetCoordinatorConfig parameterizes NewFleetCoordinator.
+	FleetCoordinatorConfig = fleet.CoordinatorConfig
+	// FleetWorkerConfig parameterizes RunFleetWorker.
+	FleetWorkerConfig = fleet.WorkerConfig
+)
+
+// NewFleetCoordinator starts serving a study's cells to fleet workers.
+func NewFleetCoordinator(cfg FleetCoordinatorConfig) (*FleetCoordinator, error) {
+	return fleet.NewCoordinator(cfg)
+}
+
+// RunFleetWorker joins a coordinator and executes leased cells until the
+// grid completes, a cell fails, or ctx is cancelled.
+func RunFleetWorker(ctx context.Context, cfg FleetWorkerConfig) error {
+	return fleet.RunWorker(ctx, cfg)
+}
+
+// StudyCellDigest is the canonical digest of one grid cell under the study
+// identified by studyDigest (Study.Digest) — the fleet's checkpoint key.
+func StudyCellDigest(studyDigest string, info StudyRunInfo) string {
+	return study.CellDigest(studyDigest, info)
+}
+
+// EncodeStudyResult writes a study result — the study plus its executed
+// cells — as strict, bit-stable JSON.
+func EncodeStudyResult(w io.Writer, r *StudyResult) error { return study.EncodeResult(w, r) }
+
+// DecodeStudyResult parses one result file, strictly: unknown fields are
+// errors and the cells must match the embedded study's own grid.
+func DecodeStudyResult(r io.Reader) (*StudyResult, error) { return study.DecodeResult(r) }
+
+// EncodeRunSummary writes one per-run summary as strict, bit-stable JSON —
+// the unit the fleet checkpoints and ships over its wire protocol.
+func EncodeRunSummary(w io.Writer, s *RunSummary) error { return study.EncodeSummary(w, s) }
+
+// DecodeRunSummary parses one per-run summary, strictly.
+func DecodeRunSummary(r io.Reader) (*RunSummary, error) { return study.DecodeSummary(r) }
 
 // Re-exported scenario types: the declarative workload-timeline layer.
 type (
